@@ -1,0 +1,39 @@
+// samo-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	samo-experiments -exp all            # everything (fig4 trains ~2 min)
+//	samo-experiments -exp fig6,table2    # specific experiments
+//	samo-experiments -exp fig4 -iters 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	samo "github.com/sparse-dl/samo"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment names, or 'all': "+
+		strings.Join(samo.ExperimentNames(), ","))
+	iters := flag.Int("iters", 200, "training iterations for fig4")
+	flag.Parse()
+
+	names := samo.ExperimentNames()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if !samo.RunExperiment(strings.TrimSpace(name), os.Stdout, *iters) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n",
+				name, strings.Join(samo.ExperimentNames(), ", "))
+			os.Exit(1)
+		}
+	}
+}

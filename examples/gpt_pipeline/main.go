@@ -1,0 +1,64 @@
+// gpt_pipeline trains a small GPT-style language model on a synthetic corpus
+// with the real hybrid-parallel engine — Ginter=2 pipeline stages × Gdata=2
+// data-parallel groups, i.e. four goroutine "GPUs" — twice: dense AxoNN and
+// AxoNN+SAMO with a 90%-sparse magnitude ticket. It then compares the
+// training curves and the communication volume, demonstrating the paper's
+// two claims at example scale: statistical efficiency is preserved, and the
+// data-parallel all-reduce shrinks with the gradient compression.
+package main
+
+import (
+	"fmt"
+
+	samo "github.com/sparse-dl/samo"
+	"github.com/sparse-dl/samo/internal/data"
+	"github.com/sparse-dl/samo/internal/nn"
+)
+
+func main() {
+	cfg := samo.GPTConfig{Name: "gpt-mini", Layers: 2, Hidden: 48, Heads: 4, Seq: 12, Vocab: 48}
+	build := func() *samo.Model { return samo.NewGPT(cfg, samo.NewRNG(7)) }
+	fmt.Printf("model: %s, %d parameters, trained on 4 virtual GPUs (2 stages x 2 replicas)\n",
+		cfg.Name, build().NumParams())
+
+	corpus := data.SynthText("synthtext", cfg.Vocab, 20000, 11)
+	const iters = 80
+	makeBatches := func() []samo.Batch {
+		var batches []samo.Batch
+		cursor := 0
+		for i := 0; i < iters; i++ {
+			b, c := corpus.LMBatch(cursor, 8, cfg.Seq)
+			cursor = c
+			batches = append(batches, b)
+		}
+		return batches
+	}
+
+	pcfg := samo.ParallelConfig{Ginter: 2, Gdata: 2, Microbatch: 1, Mode: samo.ModeDense}
+	optb := func() samo.Optimizer { return samo.NewAdamW(3e-3, 0.01) }
+
+	fmt.Println("\n--- dense AxoNN ---")
+	dense := samo.Train(pcfg, build, optb, nil, makeBatches())
+	report(dense)
+
+	fmt.Println("\n--- AxoNN+SAMO (90% pruned) ---")
+	ticket := samo.PruneMagnitude(build(), 0.9)
+	pcfg.Mode = samo.ModeSAMO
+	samoRes := samo.Train(pcfg, build, optb, ticket, makeBatches())
+	report(samoRes)
+
+	fmt.Printf("\ncollective elements per run: dense %d vs SAMO %d (%.1fx smaller all-reduce)\n",
+		dense.Fabric.TotalCollElements(), samoRes.Fabric.TotalCollElements(),
+		float64(dense.Fabric.TotalCollElements())/float64(samoRes.Fabric.TotalCollElements()))
+	df := dense.Losses[len(dense.Losses)-1]
+	sf := samoRes.Losses[len(samoRes.Losses)-1]
+	fmt.Printf("final perplexity: dense %.2f vs SAMO %.2f\n", nn.Perplexity(df), nn.Perplexity(sf))
+}
+
+func report(r samo.ParallelResult) {
+	for i, l := range r.Losses {
+		if i%20 == 0 || i == len(r.Losses)-1 {
+			fmt.Printf("iter %3d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
+		}
+	}
+}

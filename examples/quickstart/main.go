@@ -1,0 +1,58 @@
+// Quickstart: prune a small network, enable SAMO, train, and inspect the
+// memory ledger — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	samo "github.com/sparse-dl/samo"
+)
+
+func main() {
+	// 1. Build a model.
+	rng := samo.NewRNG(42)
+	model := samo.NewMLP("quickstart", []int{16, 64, 64, 4}, rng)
+	fmt.Printf("model: %d parameters\n", model.NumParams())
+
+	// 2. Prune 90% of the weights by magnitude (the paper's setting).
+	ticket := samo.PruneMagnitude(model, 0.9)
+	fmt.Printf("pruned to %.0f%% sparsity: %d of %d prunable weights survive\n",
+		100*ticket.Sparsity(), ticket.KeptParams(), ticket.TotalParams())
+
+	// 3. Enable SAMO: θ16 stays dense for fast kernels; θ32, gradients and
+	// Adam states are stored compressed on a shared index.
+	state := samo.NewState(model, samo.NewAdam(0.005), samo.ModeSAMO, ticket)
+
+	// Compare against what dense mixed precision would cost.
+	denseModel := samo.NewMLP("dense-ref", []int{16, 64, 64, 4}, samo.NewRNG(42))
+	denseState := samo.NewState(denseModel, samo.NewAdam(0.005), samo.ModeDense, nil)
+	fmt.Printf("model-state memory: dense %d bytes -> SAMO %d bytes (%.0f%% saved)\n",
+		denseState.Memory().Total(), state.Memory().Total(),
+		100*(1-float64(state.Memory().Total())/float64(denseState.Memory().Total())))
+	fmt.Printf("analytical prediction at p=0.9: %.0f%% saved\n", samo.MemorySavingsPercent(0.9))
+
+	// 4. Train on a toy task: classify by the sign pattern of two features.
+	trainer := samo.NewTrainer(state)
+	x := samo.NewTensor(64, 16)
+	samo.FillNormal(x, 1, rng)
+	targets := make([]int, 64)
+	for i := range targets {
+		k := 0
+		if x.At(i, 0) > 0 {
+			k += 2
+		}
+		if x.At(i, 1) > 0 {
+			k++
+		}
+		targets[i] = k
+	}
+	fmt.Printf("initial loss: %.4f\n", trainer.EvalLoss(x, targets))
+	for step := 1; step <= 200; step++ {
+		loss, _ := trainer.TrainStep(x, targets)
+		if step%50 == 0 {
+			fmt.Printf("step %3d: loss %.4f\n", step, loss)
+		}
+	}
+	fmt.Printf("final loss: %.4f (pruned coordinates stayed exactly zero throughout)\n",
+		trainer.EvalLoss(x, targets))
+}

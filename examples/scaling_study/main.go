@@ -1,0 +1,56 @@
+// scaling_study drives the calibrated Summit simulator over a GPU sweep for
+// one of the paper's Table I models, printing the strong-scaling series of
+// Figures 6–7 plus the per-phase breakdown of Figure 8 — the "what would
+// SAMO buy me at N GPUs" planning workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	samo "github.com/sparse-dl/samo"
+)
+
+func main() {
+	modelName := flag.String("model", "2.7B", "GPT model: XL, 2.7B, 6.7B or 13B")
+	sparsity := flag.Float64("sparsity", 0.9, "pruned fraction for SAMO")
+	flag.Parse()
+
+	configs := map[string]samo.GPTConfig{
+		"XL": samo.GPT3XL, "2.7B": samo.GPT3o2B7, "6.7B": samo.GPT3o6B7, "13B": samo.GPT3o13B,
+	}
+	cfg, ok := configs[*modelName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q (XL, 2.7B, 6.7B, 13B)\n", *modelName)
+		os.Exit(1)
+	}
+
+	m := samo.Summit()
+	fmt.Printf("strong scaling of %s (batch %d) on %s, sparsity %.2f\n\n",
+		cfg.Name, cfg.BatchSize, m.Name, *sparsity)
+	fmt.Printf("%6s %12s %12s %9s %30s\n", "GPUs", "AxoNN(s)", "+SAMO(s)", "speedup", "SAMO breakdown (cmp/p2p/bub/col)")
+
+	for g := cfg.MinGPUs; g <= cfg.MaxGPUs; g *= 2 {
+		ax := samo.EstimateGPT(cfg, m, g, false, *sparsity)
+		sa := samo.EstimateGPT(cfg, m, g, true, *sparsity)
+		if !ax.Feasible || !sa.Feasible {
+			fmt.Printf("%6d  infeasible\n", g)
+			continue
+		}
+		fmt.Printf("%6d %12.3f %12.3f %8.0f%% %10.2f/%.2f/%.2f/%.2f\n",
+			g, ax.BatchTime, sa.BatchTime,
+			100*(ax.BatchTime-sa.BatchTime)/ax.BatchTime,
+			sa.Compute, sa.P2P, sa.Bubble, sa.Collective)
+	}
+
+	fmt.Printf("\ndevice layouts at %d GPUs:\n", cfg.MaxGPUs)
+	ax := samo.EstimateGPT(cfg, m, cfg.MaxGPUs, false, *sparsity)
+	sa := samo.EstimateGPT(cfg, m, cfg.MaxGPUs, true, *sparsity)
+	fmt.Printf("  AxoNN: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
+		ax.Plan.Ginter, ax.Plan.Gdata, ax.Plan.Micro)
+	fmt.Printf("  +SAMO: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
+		sa.Plan.Ginter, sa.Plan.Gdata, sa.Plan.Micro)
+	fmt.Printf("\nutilization: AxoNN %.1f%% vs SAMO %.1f%% of aggregate fp16 peak\n",
+		100*ax.PeakFraction, 100*sa.PeakFraction)
+}

@@ -1,0 +1,340 @@
+// Package axonn is the working reimplementation of the parallel training
+// framework the paper builds on (Singh & Bhatele, IPDPS'22) with the SAMO
+// optimizations integrated: a hybrid of inter-layer (pipeline) and data
+// parallelism over Ginter × Gdata ranks, asynchronous point-to-point
+// messaging, message-driven microbatch scheduling, mixed precision with
+// dynamic loss scaling, and — when SAMO is enabled — layer-granular gradient
+// compression plus compressed data-parallel all-reduces.
+//
+// Ranks are goroutines and links are channels (internal/comm), so this
+// engine really trains models in parallel in-process. It is the correctness
+// half of the reproduction: the performance half at Summit scale lives in
+// internal/simulate.
+package axonn
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sparse-dl/samo/internal/comm"
+	"github.com/sparse-dl/samo/internal/core"
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/optim"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Config describes the hybrid-parallel layout and training options.
+type Config struct {
+	Ginter int // pipeline stages per model instance
+	Gdata  int // data-parallel model instances
+	// Microbatch is the samples per microbatch; a data group's batch shard
+	// is split into shardSize/Microbatch microbatches.
+	Microbatch int
+	// Mode selects Dense mixed precision or SAMO-compressed model states.
+	Mode core.Mode
+	// OrderedReduce selects the rank-ordered all-reduce (bitwise
+	// reproducible against a serial sum) instead of the bandwidth-optimal
+	// ring. Numerically both are correct; tests use Ordered.
+	OrderedReduce bool
+	// ClipNorm forwards to core.ModelState (0 = off).
+	ClipNorm float64
+	// InitialLossScale overrides the dynamic loss scaler's starting scale
+	// when positive (tests use it to provoke overflow skips).
+	InitialLossScale float64
+}
+
+// GPUs returns the total rank count.
+func (c Config) GPUs() int { return c.Ginter * c.Gdata }
+
+// Batch is one global training batch. Input's leading dimension holds
+// Samples × SampleRows rows (SampleRows = sequence length for token models,
+// 1 for image/vector models); Targets has one entry per row.
+type Batch struct {
+	Input      *tensor.Tensor
+	Targets    []int
+	SampleRows int
+	Samples    int
+}
+
+// shard returns data-parallel shard d of gdata.
+func (b Batch) shard(d, gdata int) Batch {
+	per := b.Samples / gdata
+	lo, hi := d*per, (d+1)*per
+	return Batch{
+		Input:      b.Input.Slice(lo*b.SampleRows, hi*b.SampleRows),
+		Targets:    b.Targets[lo*b.SampleRows : hi*b.SampleRows],
+		SampleRows: b.SampleRows,
+		Samples:    per,
+	}
+}
+
+// Builder constructs a fresh, deterministically initialized model. It is
+// called once per rank; every invocation must produce identical parameters
+// (use a fixed RNG seed), mirroring how every GPU loads the same checkpoint.
+type Builder func() *nn.Model
+
+// OptBuilder constructs a fresh optimizer per rank.
+type OptBuilder func() optim.Optimizer
+
+// Result aggregates a training run's outputs.
+type Result struct {
+	// Losses holds the mean unscaled loss of each batch (averaged over
+	// data-parallel groups).
+	Losses []float64
+	// SkippedSteps counts loss-scale overflow skips.
+	SkippedSteps int
+	// Fabric exposes traffic statistics for assertions on communication
+	// volume (e.g. compressed vs dense all-reduce payloads).
+	Fabric *comm.Fabric
+}
+
+// Train runs len(batches) training iterations under the given layout and
+// returns per-batch losses. pr may be nil for unpruned dense training.
+func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches []Batch) Result {
+	validate(cfg, batches)
+	f := comm.NewFabric(cfg.GPUs())
+	losses := make([][]float64, cfg.GPUs())
+	skips := make([]int, cfg.GPUs())
+
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.GPUs(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w := newWorker(cfg, f.Rank(r), build, optb, pr)
+			losses[r], skips[r] = w.run(batches)
+		}(r)
+	}
+	wg.Wait()
+
+	res := Result{Fabric: f, SkippedSteps: skips[lastStageRank(cfg, 0)]}
+	res.Losses = losses[lastStageRank(cfg, 0)]
+	return res
+}
+
+func lastStageRank(cfg Config, dataGroup int) int {
+	return dataGroup*cfg.Ginter + cfg.Ginter - 1
+}
+
+func validate(cfg Config, batches []Batch) {
+	if cfg.Ginter < 1 || cfg.Gdata < 1 || cfg.Microbatch < 1 {
+		panic(fmt.Sprintf("axonn: bad config %+v", cfg))
+	}
+	for _, b := range batches {
+		if b.Samples%cfg.Gdata != 0 {
+			panic(fmt.Sprintf("axonn: batch of %d samples not divisible by Gdata=%d", b.Samples, cfg.Gdata))
+		}
+		shard := b.Samples / cfg.Gdata
+		if shard%cfg.Microbatch != 0 {
+			panic(fmt.Sprintf("axonn: shard of %d samples not divisible by microbatch=%d", shard, cfg.Microbatch))
+		}
+	}
+}
+
+// worker is one rank: a pipeline stage within a data-parallel group.
+type worker struct {
+	cfg   cfgView
+	rk    *comm.Rank
+	stage int
+	dgrp  int
+
+	model *nn.Model // this stage's layers only
+	state *core.ModelState
+
+	stageGroup []int // ranks holding the same stage across data groups
+	allRanks   []int
+	lossGroup  []int // last-stage ranks
+
+	caches map[int][]any // microbatch -> per-layer caches
+}
+
+type cfgView struct {
+	Config
+}
+
+func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *prune.Result) *worker {
+	stage := rk.ID() % cfg.Ginter
+	dgrp := rk.ID() / cfg.Ginter
+
+	full := build()
+	lo, hi := partition(len(full.Layers), cfg.Ginter, stage)
+	stageModel := &nn.Model{Name: fmt.Sprintf("%s[%d:%d]", full.Name, lo, hi), Layers: full.Layers[lo:hi]}
+	state := core.NewModelState(stageModel, optb(), cfg.Mode, pr)
+	state.ClipNorm = cfg.ClipNorm
+	if cfg.InitialLossScale > 0 {
+		state.Scaler.Scale = cfg.InitialLossScale
+	}
+
+	w := &worker{
+		cfg: cfgView{cfg}, rk: rk, stage: stage, dgrp: dgrp,
+		model: stageModel, state: state,
+		caches: make(map[int][]any),
+	}
+	for d := 0; d < cfg.Gdata; d++ {
+		w.stageGroup = append(w.stageGroup, d*cfg.Ginter+stage)
+		w.lossGroup = append(w.lossGroup, lastStageRank(cfg, d))
+	}
+	for r := 0; r < cfg.GPUs(); r++ {
+		w.allRanks = append(w.allRanks, r)
+	}
+	return w
+}
+
+// partition splits n layers into g contiguous chunks (earlier chunks get
+// the remainder, matching AxoNN's contiguous layer assignment).
+func partition(n, g, idx int) (lo, hi int) {
+	if g > n {
+		panic(fmt.Sprintf("axonn: %d stages for %d layers", g, n))
+	}
+	base, rem := n/g, n%g
+	lo = idx*base + min(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (w *worker) run(batches []Batch) ([]float64, int) {
+	var losses []float64
+	for _, b := range batches {
+		losses = append(losses, w.trainBatch(b.shard(w.dgrp, w.cfg.Gdata)))
+	}
+	return losses, w.state.SkippedSteps()
+}
+
+// trainBatch drives one batch through the pipeline with message-driven
+// scheduling, reduces gradients across the data-parallel group, and steps.
+func (w *worker) trainBatch(shard Batch) float64 {
+	cfg := w.cfg
+	m := shard.Samples / cfg.Microbatch
+	w.model.ZeroGrads()
+
+	// Loss-gradient normalization: each microbatch's CrossEntropy gradient
+	// is a mean over its own rows; scaling by 1/(M·Gdata) makes the summed,
+	// all-reduced gradient the mean over the global batch.
+	gradScale := w.state.LossScale() / float32(m*cfg.Gdata)
+
+	first, last := w.stage == 0, w.stage == cfg.Ginter-1
+	next, prev := w.rk.ID()+1, w.rk.ID()-1
+
+	// microInput slices microbatch mb along dim 0: a sample spans
+	// SampleRows rows for token models ((samples·seq, 1) inputs) and one
+	// dim-0 entry for image/vector models (SampleRows = 1).
+	rowsPerMB := cfg.Microbatch * shard.SampleRows
+	microInput := func(mb int) *tensor.Tensor {
+		return shard.Input.Slice(mb*rowsPerMB, (mb+1)*rowsPerMB)
+	}
+	microTargets := func(mb int) []int {
+		lo := mb * cfg.Microbatch * shard.SampleRows
+		return shard.Targets[lo : lo+cfg.Microbatch*shard.SampleRows]
+	}
+
+	var batchLoss float64
+	fwdDone, bwdDone := 0, 0
+	injected := 0
+
+	forward := func(mb int, x *tensor.Tensor) {
+		y, caches := w.model.Forward(x, true)
+		w.caches[mb] = caches
+		fwdDone++
+		if last {
+			loss, grad := nn.CrossEntropy(y, microTargets(mb))
+			batchLoss += loss / float64(m)
+			tensor.Scale(grad, gradScale)
+			w.backward(mb, grad, first, prev)
+			bwdDone++
+		} else {
+			w.rk.Send(next, comm.TagActivation, mb, y.Data(), y.Shape()...)
+		}
+	}
+
+	// Warmup: stage 0 injects up to Ginter forwards (1F1B's in-flight
+	// bound — exactly the memory-limiting behaviour AxoNN manages). With a
+	// single stage there is no pipeline and every microbatch runs inline.
+	if first {
+		for injected < m && (injected < cfg.Ginter || last) {
+			forward(injected, microInput(injected))
+			injected++
+		}
+	}
+
+	// Message-driven loop: process whatever arrives (§II-E).
+	for fwdDone < m || bwdDone < m {
+		msg := w.rk.Recv()
+		switch msg.Tag {
+		case comm.TagActivation:
+			forward(msg.MB, tensor.FromSlice(msg.Data, msg.Shape...))
+		case comm.TagGradient:
+			w.backward(msg.MB, tensor.FromSlice(msg.Data, msg.Shape...), first, prev)
+			bwdDone++
+			if first && injected < m {
+				forward(injected, microInput(injected))
+				injected++
+			}
+		default:
+			panic(fmt.Sprintf("axonn: unexpected message tag %v", msg.Tag))
+		}
+	}
+
+	// Data-parallel phase: all-reduce the (compressed under SAMO) fp16
+	// gradient buffers across the stage group — §IV-A.
+	for _, buf := range w.state.ReduceBuffers() {
+		if cfg.OrderedReduce {
+			w.rk.AllReduceOrdered(w.stageGroup, buf)
+		} else {
+			w.rk.AllReduce(w.stageGroup, buf)
+		}
+	}
+
+	// Global overflow consensus so every rank agrees to step or skip.
+	flag := []float32{0}
+	if w.state.Overflow() {
+		flag[0] = 1
+	}
+	w.rk.AllReduceOrdered(w.allRanks, flag)
+	w.state.StepGiven(flag[0] > 0)
+
+	// Average the reported loss across data-parallel groups (float64 stays
+	// intact when there is only one group).
+	if w.stage == cfg.Ginter-1 && cfg.Gdata > 1 {
+		lbuf := []float32{float32(batchLoss)}
+		w.rk.AllReduceOrdered(w.lossGroup, lbuf)
+		batchLoss = float64(lbuf[0]) / float64(cfg.Gdata)
+	}
+
+	// Release activation caches.
+	for k := range w.caches {
+		delete(w.caches, k)
+	}
+	return batchLoss
+}
+
+func (w *worker) backward(mb int, grad *tensor.Tensor, first bool, prev int) {
+	caches, ok := w.caches[mb]
+	if !ok {
+		panic(fmt.Sprintf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
+	}
+	delete(w.caches, mb)
+	gin := w.model.Backward(caches, grad, w.state.GradHook())
+	if !first {
+		w.rk.Send(prev, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
+	}
+}
+
+// Evaluate runs a forward-only pass over the batch on a single rank layout
+// (no parallelism needed for evaluation at test scale) and returns the mean
+// loss. Provided for symmetry with core.Trainer.EvalLoss.
+func Evaluate(model *nn.Model, b Batch) float64 {
+	y, _ := model.Forward(b.Input, false)
+	loss, _ := nn.CrossEntropy(y, b.Targets)
+	return loss
+}

@@ -1,0 +1,395 @@
+// Package comm is the in-process communication fabric standing in for
+// NCCL/MPI on Summit: one goroutine per rank, channels as links. It provides
+// the two communication patterns the paper optimizes —
+//
+//   - asynchronous point-to-point messaging with a per-rank inbox (AxoNN's
+//     message-driven scheduling reads whatever activation/gradient arrives
+//     next, §II-E), used by inter-layer parallelism;
+//   - ring-based collectives (all-reduce, reduce-scatter, all-gather,
+//     broadcast, barrier) used by data parallelism.
+//
+// Every rank records the bytes it moved, so experiments can attribute
+// communication volume exactly.
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tag classifies data-plane messages so the engine can dispatch them.
+type Tag int
+
+// Data-plane message tags used by the training engine.
+const (
+	TagActivation Tag = iota // forward activations, stage i -> i+1
+	TagGradient              // backward gradients, stage i+1 -> i
+	TagControl               // engine control messages
+)
+
+// Message is one point-to-point payload. MB identifies the microbatch it
+// belongs to; Seq is a sender-assigned sequence number; Shape optionally
+// carries the tensor geometry so the receiver can reconstruct it.
+type Message struct {
+	From  int
+	Tag   Tag
+	MB    int
+	Data  []float32
+	Shape []int
+	Seq   int
+}
+
+// Stats counts a rank's traffic (bytes assume 4-byte elements unless the
+// caller scales; the engine accounts fp16 payloads at 2 bytes itself).
+type Stats struct {
+	P2PMessages  atomic.Int64
+	P2PElements  atomic.Int64
+	CollOps      atomic.Int64
+	CollElements atomic.Int64
+}
+
+// Fabric connects n ranks. Create once, then hand each goroutine its Rank.
+type Fabric struct {
+	n     int
+	data  []chan Message
+	coll  []chan collMsg
+	stats []Stats
+}
+
+type collMsg struct {
+	from int
+	tag  int
+	data []float32
+}
+
+// NewFabric creates a fabric with n ranks and generous channel buffering
+// (sends are asynchronous until the buffer fills, mirroring NCCL's eager
+// protocol for small messages).
+func NewFabric(n int) *Fabric {
+	if n < 1 {
+		panic("comm: fabric needs at least one rank")
+	}
+	f := &Fabric{n: n,
+		data:  make([]chan Message, n),
+		coll:  make([]chan collMsg, n),
+		stats: make([]Stats, n),
+	}
+	for i := range f.data {
+		f.data[i] = make(chan Message, 4096)
+		f.coll[i] = make(chan collMsg, 4096)
+	}
+	return f
+}
+
+// Size returns the number of ranks.
+func (f *Fabric) Size() int { return f.n }
+
+// Rank returns the handle for rank r. Each handle must be used by a single
+// goroutine.
+func (f *Fabric) Rank(r int) *Rank {
+	if r < 0 || r >= f.n {
+		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, f.n))
+	}
+	return &Rank{f: f, r: r, pending: make(map[pendKey][]collMsg)}
+}
+
+// Stats returns the traffic counters for rank r.
+func (f *Fabric) Stats(r int) *Stats { return &f.stats[r] }
+
+// TotalP2PElements sums point-to-point elements over all ranks.
+func (f *Fabric) TotalP2PElements() int64 {
+	var s int64
+	for i := range f.stats {
+		s += f.stats[i].P2PElements.Load()
+	}
+	return s
+}
+
+// TotalCollElements sums collective elements over all ranks.
+func (f *Fabric) TotalCollElements() int64 {
+	var s int64
+	for i := range f.stats {
+		s += f.stats[i].CollElements.Load()
+	}
+	return s
+}
+
+type pendKey struct {
+	from, tag int
+}
+
+// Rank is one participant's endpoint. Not safe for concurrent use by
+// multiple goroutines (each simulated GPU is one goroutine, as on the real
+// machine each GPU has one process).
+type Rank struct {
+	f       *Fabric
+	r       int
+	pending map[pendKey][]collMsg
+	seq     int
+}
+
+// ID returns this rank's index.
+func (rk *Rank) ID() int { return rk.r }
+
+// Size returns the fabric size.
+func (rk *Rank) Size() int { return rk.f.n }
+
+// Send delivers a data-plane message asynchronously. The data slice is
+// handed over; the sender must not modify it afterwards (zero-copy, like a
+// GPU handing a buffer to the NIC). shape, if given, describes the tensor
+// geometry of data.
+func (rk *Rank) Send(to int, tag Tag, mb int, data []float32, shape ...int) {
+	rk.seq++
+	rk.f.stats[rk.r].P2PMessages.Add(1)
+	rk.f.stats[rk.r].P2PElements.Add(int64(len(data)))
+	rk.f.data[to] <- Message{From: rk.r, Tag: tag, MB: mb, Data: data, Shape: shape, Seq: rk.seq}
+}
+
+// Inbox returns the data-plane receive channel: the heart of message-driven
+// scheduling. The engine blocks on it and processes whatever arrives.
+func (rk *Rank) Inbox() <-chan Message { return rk.f.data[rk.r] }
+
+// Recv blocks for the next data-plane message (convenience for tests).
+func (rk *Rank) Recv() Message { return <-rk.f.data[rk.r] }
+
+// --- Collectives -----------------------------------------------------------
+//
+// All collective calls must be made by every rank of the group, with equal
+// buffer lengths, in the same order. Internally they use a control-plane
+// channel with (from, tag) matching so concurrent groups cannot interfere.
+
+func (rk *Rank) sendColl(to, tag int, data []float32) {
+	rk.f.coll[to] <- collMsg{from: rk.r, tag: tag, data: data}
+}
+
+func (rk *Rank) recvColl(from, tag int) []float32 {
+	k := pendKey{from, tag}
+	if q := rk.pending[k]; len(q) > 0 {
+		m := q[0]
+		if len(q) == 1 {
+			delete(rk.pending, k)
+		} else {
+			rk.pending[k] = q[1:]
+		}
+		return m.data
+	}
+	for {
+		m := <-rk.f.coll[rk.r]
+		if m.from == from && m.tag == tag {
+			return m.data
+		}
+		mk := pendKey{m.from, m.tag}
+		rk.pending[mk] = append(rk.pending[mk], m)
+	}
+}
+
+// groupPos returns this rank's index within group, panicking if absent.
+func (rk *Rank) groupPos(group []int) int {
+	for i, g := range group {
+		if g == rk.r {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("comm: rank %d not in group %v", rk.r, group))
+}
+
+// Collective opcode bases for tag construction.
+const (
+	opAllReduce = 1 << 20
+	opGather    = 2 << 20
+	opBcast     = 3 << 20
+	opBarrier   = 4 << 20
+	opRS        = 5 << 20
+	opAG        = 6 << 20
+)
+
+// AllReduce sums buf across the group in place using the bandwidth-optimal
+// ring algorithm (reduce-scatter then all-gather), the same structure NCCL
+// uses for large messages — each rank sends 2·(G−1)/G of the buffer.
+func (rk *Rank) AllReduce(group []int, buf []float32) {
+	g := len(group)
+	if g == 1 {
+		return
+	}
+	pos := rk.groupPos(group)
+	next := group[(pos+1)%g]
+	prev := group[(pos-1+g)%g]
+	bounds := chunkBounds(len(buf), g)
+	rk.f.stats[rk.r].CollOps.Add(1)
+
+	// Reduce-scatter: after step s, each rank has accumulated chunk
+	// (pos-s) from s+1 ranks; after G-1 steps rank p owns the full sum of
+	// chunk (p+1) mod G.
+	for s := 0; s < g-1; s++ {
+		sendChunk := (pos - s + g) % g
+		recvChunk := (pos - s - 1 + g) % g
+		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
+		out := make([]float32, hi-lo)
+		copy(out, buf[lo:hi])
+		rk.sendColl(next, opAllReduce+s, out)
+		in := rk.recvColl(prev, opAllReduce+s)
+		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
+		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
+		for i := range in {
+			buf[lo+i] += in[i]
+		}
+	}
+	// All-gather: circulate the finished chunks.
+	for s := 0; s < g-1; s++ {
+		sendChunk := (pos + 1 - s + g) % g
+		recvChunk := (pos - s + g) % g
+		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
+		out := make([]float32, hi-lo)
+		copy(out, buf[lo:hi])
+		rk.sendColl(next, opAllReduce+1000+s, out)
+		in := rk.recvColl(prev, opAllReduce+1000+s)
+		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
+		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
+		copy(buf[lo:hi], in)
+	}
+}
+
+// AllReduceOrdered sums buf across the group with a rank-ordered
+// gather-to-root reduction: the floating-point additions happen in group
+// order, exactly matching a serial loop over ranks. Used where bitwise
+// reproducibility against a serial reference matters more than bandwidth.
+func (rk *Rank) AllReduceOrdered(group []int, buf []float32) {
+	g := len(group)
+	if g == 1 {
+		return
+	}
+	pos := rk.groupPos(group)
+	root := group[0]
+	rk.f.stats[rk.r].CollOps.Add(1)
+	if pos == 0 {
+		for i := 1; i < g; i++ {
+			in := rk.recvColl(group[i], opGather+i)
+			rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
+			for j := range buf {
+				buf[j] += in[j]
+			}
+		}
+	} else {
+		out := make([]float32, len(buf))
+		copy(out, buf)
+		rk.sendColl(root, opGather+pos, out)
+	}
+	rk.Broadcast(group, root, buf)
+}
+
+// Broadcast copies root's buf to every rank (binomial-tree free: simple
+// root-sends-all, adequate in-process).
+func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
+	pos := rk.groupPos(group)
+	rootPos := -1
+	for i, g := range group {
+		if g == root {
+			rootPos = i
+			break
+		}
+	}
+	if rootPos < 0 {
+		panic("comm: broadcast root not in group")
+	}
+	if pos == rootPos {
+		for i, g := range group {
+			if i == rootPos {
+				continue
+			}
+			out := make([]float32, len(buf))
+			copy(out, buf)
+			rk.sendColl(g, opBcast+i, out)
+		}
+	} else {
+		in := rk.recvColl(root, opBcast+pos)
+		rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
+		copy(buf, in)
+	}
+}
+
+// ReduceScatter sums buf across the group and leaves each rank with its
+// owned chunk in out (chunk boundaries from chunkBounds). buf is clobbered.
+func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
+	g := len(group)
+	pos := rk.groupPos(group)
+	bounds := chunkBounds(len(buf), g)
+	if g == 1 {
+		out := make([]float32, len(buf))
+		copy(out, buf)
+		return out
+	}
+	next := group[(pos+1)%g]
+	prev := group[(pos-1+g)%g]
+	rk.f.stats[rk.r].CollOps.Add(1)
+	// Chunk schedule chosen so rank at position p finishes owning chunk p
+	// (matching AllGather's convention): send (p−s−1), receive (p−s−2).
+	for s := 0; s < g-1; s++ {
+		sendChunk := (pos - s - 1 + 2*g) % g
+		recvChunk := (pos - s - 2 + 2*g) % g
+		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
+		out := make([]float32, hi-lo)
+		copy(out, buf[lo:hi])
+		rk.sendColl(next, opRS+s, out)
+		in := rk.recvColl(prev, opRS+s)
+		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
+		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
+		for i := range in {
+			buf[lo+i] += in[i]
+		}
+	}
+	own := pos
+	lo, hi := bounds[own], bounds[own+1]
+	out := make([]float32, hi-lo)
+	copy(out, buf[lo:hi])
+	return out
+}
+
+// AllGather concatenates each rank's chunk into full (length = total);
+// chunk sizes must follow chunkBounds(total, G).
+func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
+	g := len(group)
+	pos := rk.groupPos(group)
+	full := make([]float32, total)
+	bounds := chunkBounds(total, g)
+	lo := bounds[pos]
+	copy(full[lo:lo+len(chunk)], chunk)
+	if g == 1 {
+		return full
+	}
+	next := group[(pos+1)%g]
+	prev := group[(pos-1+g)%g]
+	rk.f.stats[rk.r].CollOps.Add(1)
+	cur := pos
+	for s := 0; s < g-1; s++ {
+		clo, chi := bounds[cur], bounds[cur+1]
+		out := make([]float32, chi-clo)
+		copy(out, full[clo:chi])
+		rk.sendColl(next, opAG+s, out)
+		in := rk.recvColl(prev, opAG+s)
+		cur = (cur - 1 + g) % g
+		clo, chi = bounds[cur], bounds[cur+1]
+		rk.f.stats[rk.r].CollElements.Add(int64(chi - clo))
+		copy(full[clo:chi], in)
+	}
+	return full
+}
+
+// Barrier blocks until every rank of the group has entered it.
+func (rk *Rank) Barrier(group []int) {
+	one := []float32{1}
+	rk.AllReduceOrdered(group, one)
+}
+
+// chunkBounds splits n elements into g nearly equal contiguous chunks,
+// returning g+1 boundaries.
+func chunkBounds(n, g int) []int {
+	b := make([]int, g+1)
+	base, rem := n/g, n%g
+	for i := 0; i < g; i++ {
+		b[i+1] = b[i] + base
+		if i < rem {
+			b[i+1]++
+		}
+	}
+	return b
+}

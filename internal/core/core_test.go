@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/optim"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+func TestMemoryModelClosedForm(t *testing.T) {
+	phi := int64(1_000_000)
+	if got := DefaultModelStateBytes(phi); got != 20*phi {
+		t.Errorf("M_default = %d, want 20φ", got)
+	}
+	// At p=0.9: 24·0.1·φ + 2φ = 4.4φ.
+	if got := SAMOModelStateBytes(phi, 0.9); got != int64(4.4*float64(phi)) {
+		t.Errorf("M_SAMO(0.9) = %d, want 4.4φ", got)
+	}
+	// Break-even at p = 0.25.
+	if SavingsBytes(phi, BreakEvenSparsity) != 0 {
+		t.Errorf("savings at break-even = %d, want 0", SavingsBytes(phi, BreakEvenSparsity))
+	}
+	if SavingsBytes(phi, 0.1) >= 0 {
+		t.Error("below break-even, SAMO must cost memory")
+	}
+}
+
+func TestMemorySavingsPaperNumbers(t *testing.T) {
+	// §III-D: "66-78% of memory" for p in [0.8, 0.9].
+	if s := SavingsPercent(0.8); math.Abs(s-66) > 1 {
+		t.Errorf("savings at 0.8 = %g%%, want 66%%", s)
+	}
+	if s := SavingsPercent(0.9); math.Abs(s-78) > 1 {
+		t.Errorf("savings at 0.9 = %g%%, want 78%%", s)
+	}
+	// Abstract: GPT-3 2.7B drops from 80.16 GB to ≈20.28 GB at p=0.9
+	// (the paper's 2.7B count is ≈2.65·4 = the exact φ matters; check the
+	// ratio instead: 20φ -> 4.4φ is a 74% reduction less the rounding).
+	def := DefaultModelStateBytes(2_700_000_000)
+	samo := SAMOModelStateBytes(2_700_000_000, 0.9)
+	red := 100 * (1 - float64(samo)/float64(def))
+	if math.Abs(red-74) > 5 {
+		t.Errorf("2.7B reduction = %.1f%%, paper reports 74%%", red)
+	}
+}
+
+func TestSavingsMonotoneInSparsity(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p1 := float64(a%100) / 100
+		p2 := float64(b%100) / 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return SavingsBytes(1e9, p1) <= SavingsBytes(1e9, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownMatchesClosedForm(t *testing.T) {
+	phi, kept := int64(1000), int64(100) // p = 0.9
+	b := SAMOBreakdown(phi, kept)
+	if b.Total() != SAMOModelStateBytes(phi, 0.9) {
+		t.Errorf("breakdown total %d != closed form %d", b.Total(), SAMOModelStateBytes(phi, 0.9))
+	}
+	d := DefaultBreakdown(phi)
+	if d.Total() != DefaultModelStateBytes(phi) {
+		t.Errorf("dense breakdown total %d != closed form %d", d.Total(), DefaultModelStateBytes(phi))
+	}
+}
+
+// buildTestSetup makes a small MLP pruned to the given sparsity with a
+// ModelState in the requested mode. Both modes share an identical seed so
+// they start from identical θ16.
+func buildTestSetup(mode Mode, sparsity float64, seed uint64) (*nn.Model, *ModelState, *prune.Result) {
+	rng := tensor.NewRNG(seed)
+	m := nn.BuildMLP("mlp", []int{8, 16, 4}, rng)
+	var layers []prune.Layer
+	for _, e := range m.PruneLayers() {
+		layers = append(layers, prune.Layer{Name: e.Name, Values: e.Param.Value.Data()})
+	}
+	pr := prune.MagnitudePerLayer(layers, sparsity)
+	ms := NewModelState(m, optim.NewAdam(0.01), mode, pr)
+	return m, ms, pr
+}
+
+func makeBatch(n, in, classes int, seed uint64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(n, in)
+	tensor.FillNormal(x, 1, rng)
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = rng.Intn(classes)
+	}
+	return x, targets
+}
+
+func TestSAMOMatchesMaskedDenseTraining(t *testing.T) {
+	// The central correctness property: training with SAMO-compressed
+	// states must produce bit-identical parameters to training with dense
+	// (but masked) states — compression is a storage change, not a math
+	// change.
+	_, msDense, _ := buildTestSetup(Dense, 0.75, 42)
+	_, msSAMO, _ := buildTestSetup(SAMO, 0.75, 42)
+
+	trD := NewTrainer(msDense)
+	trS := NewTrainer(msSAMO)
+	for step := 0; step < 10; step++ {
+		x, targets := makeBatch(6, 8, 4, uint64(100+step))
+		lD, _ := trD.TrainStep(x, targets)
+		lS, _ := trS.TrainStep(x.Clone(), targets)
+		if lD != lS {
+			t.Fatalf("step %d: losses diverged %g vs %g", step, lD, lS)
+		}
+	}
+	pd := msDense.Model().Params()
+	ps := msSAMO.Model().Params()
+	for i := range pd {
+		if d := tensor.MaxAbsDiff(pd[i].Value, ps[i].Value); d != 0 {
+			t.Errorf("param %s differs by %g after training", pd[i].Name, d)
+		}
+	}
+}
+
+func TestPrunedCoordinatesStayZero(t *testing.T) {
+	m, ms, pr := buildTestSetup(SAMO, 0.8, 7)
+	tr := NewTrainer(ms)
+	for step := 0; step < 5; step++ {
+		x, targets := makeBatch(4, 8, 4, uint64(step))
+		tr.TrainStep(x, targets)
+	}
+	for _, e := range m.PruneLayers() {
+		ix := pr.Index(e.Name)
+		mask := ix.Mask()
+		for i, v := range e.Param.Value.Data() {
+			if !mask.Get(i) && v != 0 {
+				t.Fatalf("pruned coordinate %s[%d] became %g", e.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	_, ms, _ := buildTestSetup(SAMO, 0.5, 11)
+	tr := NewTrainer(ms)
+	x, targets := makeBatch(16, 8, 4, 500)
+	first := tr.EvalLoss(x, targets)
+	for step := 0; step < 60; step++ {
+		tr.TrainStep(x, targets)
+	}
+	last := tr.EvalLoss(x, targets)
+	if last >= first {
+		t.Errorf("loss did not decrease: %g -> %g", first, last)
+	}
+}
+
+func TestMemoryLedgerMatchesAnalyticModel(t *testing.T) {
+	// The implementation's byte ledger must agree with §III-D for the
+	// prunable portion. The MLP also has biases (unprunable, stored dense);
+	// account for them separately.
+	m, ms, pr := buildTestSetup(SAMO, 0.75, 13)
+	led := ms.Memory()
+
+	var phiPrunable, kept, phiRest int64
+	for _, p := range m.Params() {
+		if nn.Prunable(p) {
+			phiPrunable += int64(p.Size())
+		} else {
+			phiRest += int64(p.Size())
+		}
+	}
+	kept = int64(pr.KeptParams())
+
+	want := SAMOBreakdown(phiPrunable, kept).Total() + DefaultBreakdown(phiRest).Total()
+	if led.Total() != want {
+		t.Errorf("ledger %d != analytic %d", led.Total(), want)
+	}
+	// And SAMO must beat dense storage at this sparsity.
+	msD := NewModelState(nn.BuildMLP("mlp", []int{8, 16, 4}, tensor.NewRNG(13)),
+		optim.NewAdam(0.01), Dense, nil)
+	if led.Total() >= msD.Memory().Total() {
+		t.Error("SAMO ledger not smaller than dense ledger at p=0.75")
+	}
+}
+
+func TestReduceBuffersCompressed(t *testing.T) {
+	m, ms, pr := buildTestSetup(SAMO, 0.9, 17)
+	var prunable int64
+	for _, p := range m.Params() {
+		if nn.Prunable(p) {
+			prunable += int64(p.Size())
+		}
+	}
+	var unprunable int64
+	for _, p := range m.Params() {
+		if !nn.Prunable(p) {
+			unprunable += int64(p.Size())
+		}
+	}
+	want := int64(pr.KeptParams()) + unprunable
+	if got := ms.GradElements(); got != want {
+		t.Errorf("all-reduce payload %d elements, want %d (compressed)", got, want)
+	}
+	// Dense mode: full payload.
+	_, msD, _ := buildTestSetup(Dense, 0.9, 17)
+	if got := msD.GradElements(); got != prunable+unprunable {
+		t.Errorf("dense payload %d, want %d", got, prunable+unprunable)
+	}
+}
+
+func TestOverflowSkipsStepAndHalvesScale(t *testing.T) {
+	m, ms, _ := buildTestSetup(SAMO, 0.5, 19)
+	ms.Scaler.Scale = 65536
+	// Inject an enormous gradient that overflows fp16 after scaling.
+	p := m.Params()[0]
+	before := p.Value.Clone()
+	p.Grad.Fill(1e9)
+	ms.CaptureAll()
+	applied := ms.Step()
+	if applied {
+		t.Fatal("overflowed step must be skipped")
+	}
+	if ms.Scaler.Scale != 32768 {
+		t.Errorf("scale = %g, want halved", ms.Scaler.Scale)
+	}
+	if d := tensor.MaxAbsDiff(before, p.Value); d != 0 {
+		t.Error("skipped step must not move parameters")
+	}
+	if ms.SkippedSteps() != 1 || ms.Steps() != 0 {
+		t.Errorf("step accounting wrong: %d applied, %d skipped", ms.Steps(), ms.SkippedSteps())
+	}
+	// Recovery: a sane gradient afterwards applies.
+	p.Grad.Fill(0.01)
+	ms.CaptureAll()
+	if !ms.Step() {
+		t.Error("post-overflow step should apply")
+	}
+}
+
+func TestGradHookClearsDenseGrads(t *testing.T) {
+	m, ms, _ := buildTestSetup(SAMO, 0.5, 23)
+	x, targets := makeBatch(4, 8, 4, 600)
+	m.ZeroGrads()
+	y, caches := m.Forward(x, true)
+	_, grad := nn.CrossEntropy(y, targets)
+	tensor.Scale(grad, ms.LossScale())
+	m.Backward(caches, grad, ms.GradHook())
+	// After the hook, every dense Grad accumulator must be zero: whole-model
+	// dense gradients never coexist (§III-C).
+	for _, p := range m.Params() {
+		if tensor.MaxAbs(p.Grad) != 0 {
+			t.Errorf("dense grad %s not cleared by hook", p.Name)
+		}
+	}
+}
+
+func TestThetaValuesStayOnFp16Grid(t *testing.T) {
+	_, ms, _ := buildTestSetup(SAMO, 0.5, 29)
+	tr := NewTrainer(ms)
+	for step := 0; step < 3; step++ {
+		x, targets := makeBatch(4, 8, 4, uint64(700+step))
+		tr.TrainStep(x, targets)
+	}
+	for _, p := range ms.Model().Params() {
+		for i, v := range p.Value.Data() {
+			q := quantizeOne(v)
+			if q != v {
+				t.Fatalf("%s[%d] = %g off the fp16 grid", p.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestDenseModeWithoutPruning(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	m := nn.BuildMLP("mlp", []int{6, 10, 3}, rng)
+	ms := NewModelState(m, optim.NewAdam(0.01), Dense, nil)
+	tr := NewTrainer(ms)
+	x, targets := makeBatch(8, 6, 3, 800)
+	first := tr.EvalLoss(x, targets)
+	for i := 0; i < 40; i++ {
+		tr.TrainStep(x, targets)
+	}
+	if last := tr.EvalLoss(x, targets); last >= first {
+		t.Errorf("dense training did not learn: %g -> %g", first, last)
+	}
+}
+
+func TestSAMOModeRequiresPruneResult(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SAMO without pruning must panic")
+		}
+	}()
+	rng := tensor.NewRNG(37)
+	m := nn.BuildMLP("mlp", []int{4, 4}, rng)
+	NewModelState(m, optim.NewAdam(0.01), SAMO, nil)
+}
+
+func TestClipNormIntegration(t *testing.T) {
+	_, ms, _ := buildTestSetup(SAMO, 0.5, 41)
+	ms.ClipNorm = 1e-6 // clip everything to ~zero
+	tr := NewTrainer(ms)
+	before := ms.Model().Params()[0].Value.Clone()
+	x, targets := makeBatch(4, 8, 4, 900)
+	tr.TrainStep(x, targets)
+	after := ms.Model().Params()[0].Value
+	// With a microscopic clip norm, parameter movement is bounded by
+	// lr·clip ~ 1e-8 per Adam quirk; fp16 rounding makes it zero.
+	if d := tensor.MaxAbsDiff(before, after); d > 1e-2 {
+		t.Errorf("clipping ineffective: moved %g", d)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Trainer runs single-process mixed-precision training through a ModelState:
+// the serial reference the parallel engine must reproduce, and the workhorse
+// of the statistical-efficiency experiment (Figure 4).
+type Trainer struct {
+	State *ModelState
+}
+
+// NewTrainer wraps a ModelState.
+func NewTrainer(state *ModelState) *Trainer { return &Trainer{State: state} }
+
+// TrainStep processes one batch: scaled forward/backward with layer-granular
+// gradient capture, then the SAMO/mixed-precision optimizer step. It returns
+// the (unscaled) mean loss and whether the step was applied.
+func (t *Trainer) TrainStep(x *tensor.Tensor, targets []int) (float64, bool) {
+	m := t.State.Model()
+	m.ZeroGrads()
+	y, caches := m.Forward(x, true)
+	loss, grad := nn.CrossEntropy(y, targets)
+	tensor.Scale(grad, t.State.LossScale())
+	m.Backward(caches, grad, t.State.GradHook())
+	applied := t.State.Step()
+	return loss, applied
+}
+
+// EvalLoss computes the mean loss on a batch without training.
+func (t *Trainer) EvalLoss(x *tensor.Tensor, targets []int) float64 {
+	y, _ := t.State.Model().Forward(x, false)
+	loss, _ := nn.CrossEntropy(y, targets)
+	return loss
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/sparse-dl/samo/internal/axonn"
+	"github.com/sparse-dl/samo/internal/core"
+	"github.com/sparse-dl/samo/internal/data"
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/optim"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Fig4Point is one evaluation of validation perplexity.
+type Fig4Point struct {
+	Iteration  int
+	Perplexity float64
+}
+
+// Fig4Series is one training curve.
+type Fig4Series struct {
+	Label  string
+	Points []Fig4Point
+}
+
+// Fig4Result holds the paired curves for one model/dataset.
+type Fig4Result struct {
+	Model   string
+	Dataset string
+	Dense   Fig4Series
+	SAMO    Fig4Series
+}
+
+// fig4Spec is a scaled-down stand-in for one of the paper's Figure 4 runs
+// (GPT-3 XL on Wikitext-103; GPT-3 2.7B on BookCorpus). The stand-ins keep
+// the experiment's logic intact — same pruning algorithm (Early-Bird), same
+// sparsity (0.9), same metric (validation perplexity), dense-vs-SAMO pairing
+// with identical initialization — at a size a CPU can train.
+type fig4Spec struct {
+	model, dataset string
+	cfg            nn.GPTConfig
+	corpusSeed     uint64
+	modelSeed      uint64
+	batch          int
+}
+
+func fig4Specs() []fig4Spec {
+	return []fig4Spec{
+		{
+			model: "GPT-3 XL (stand-in)", dataset: "synthtext-103",
+			cfg:        nn.GPTConfig{Name: "xl-mini", Layers: 2, Hidden: 48, Heads: 4, Seq: 12, Vocab: 48},
+			corpusSeed: 101, modelSeed: 7, batch: 8,
+		},
+		{
+			model: "GPT-3 2.7B (stand-in)", dataset: "synthbooks",
+			cfg:        nn.GPTConfig{Name: "2.7b-mini", Layers: 3, Hidden: 48, Heads: 4, Seq: 12, Vocab: 48},
+			corpusSeed: 202, modelSeed: 9, batch: 8,
+		},
+	}
+}
+
+// Figure4 trains each stand-in to completion twice — dense AxoNN vs
+// AxoNN+SAMO with a 90%-sparse Early-Bird ticket — and reports validation
+// perplexity curves. iters controls the training length (the paper runs
+// 300–400 iterations; tests use fewer). Statistical efficiency is invariant
+// to the parallel layout (the engine tests prove bitwise equivalence with
+// serial execution), so the curves are produced with the serial trainer.
+func Figure4(w io.Writer, iters int) []Fig4Result {
+	var out []Fig4Result
+	for _, spec := range fig4Specs() {
+		res := runFig4(spec, iters)
+		out = append(out, res)
+		fmt.Fprintf(w, "\nFigure 4: validation perplexity for %s on %s\n", res.Model, res.Dataset)
+		fmt.Fprintf(w, "%10s %14s %14s\n", "iteration", "AxoNN", "AxoNN+SAMO")
+		for i := range res.Dense.Points {
+			fmt.Fprintf(w, "%10d %14.2f %14.2f\n",
+				res.Dense.Points[i].Iteration,
+				res.Dense.Points[i].Perplexity,
+				res.SAMO.Points[i].Perplexity)
+		}
+		d := res.Dense.Points[len(res.Dense.Points)-1].Perplexity
+		s := res.SAMO.Points[len(res.SAMO.Points)-1].Perplexity
+		fmt.Fprintf(w, "final: dense %.2f vs SAMO %.2f (%+.1f%%)\n", d, s, 100*(s-d)/d)
+	}
+	return out
+}
+
+func runFig4(spec fig4Spec, iters int) Fig4Result {
+	corpus := data.SynthText(spec.dataset, spec.cfg.Vocab, 20000, spec.corpusSeed)
+	valBatch, _ := corpus.LMBatch(15000, 16, spec.cfg.Seq)
+
+	// Draw the Early-Bird ticket: train a scout copy briefly, observing the
+	// magnitude mask each "epoch" until it stabilizes (You et al.).
+	ticket := drawTicket(spec, corpus, iters/4+10)
+
+	dense := trainCurve(spec, corpus, valBatch, nil, core.Dense, iters, "AxoNN")
+	samo := trainCurve(spec, corpus, valBatch, ticket, core.SAMO, iters, "AxoNN+SAMO")
+	return Fig4Result{Model: spec.model, Dataset: spec.dataset, Dense: dense, SAMO: samo}
+}
+
+func drawTicket(spec fig4Spec, corpus *data.Corpus, warmupIters int) *prune.Result {
+	m := nn.BuildGPT(spec.cfg, tensor.NewRNG(spec.modelSeed))
+	ms := core.NewModelState(m, optim.NewAdamW(3e-3, 0.01), core.Dense, nil)
+	tr := core.NewTrainer(ms)
+	eb := prune.NewEarlyBird(Sparsity)
+	eb.Window = 3
+	eb.Epsilon = 0.05
+
+	cursor := 0
+	const epoch = 5 // iterations per mask observation
+	for i := 0; i < warmupIters; i++ {
+		b, c := corpus.LMBatch(cursor, spec.batch, spec.cfg.Seq)
+		cursor = c
+		tr.TrainStep(b.Input, b.Targets)
+		if (i+1)%epoch == 0 {
+			if eb.Observe(pruneView(m)) {
+				break
+			}
+		}
+	}
+	return eb.Force(pruneView(m))
+}
+
+func pruneView(m *nn.Model) []prune.Layer {
+	var layers []prune.Layer
+	for _, e := range m.PruneLayers() {
+		layers = append(layers, prune.Layer{Name: e.Name, Values: e.Param.Value.Data()})
+	}
+	return layers
+}
+
+func trainCurve(spec fig4Spec, corpus *data.Corpus, val axonn.Batch,
+	ticket *prune.Result, mode core.Mode, iters int, label string) Fig4Series {
+	m := nn.BuildGPT(spec.cfg, tensor.NewRNG(spec.modelSeed))
+	ms := core.NewModelState(m, optim.NewAdamW(3e-3, 0.01), mode, ticket)
+	ms.ClipNorm = 1.0
+	tr := core.NewTrainer(ms)
+
+	series := Fig4Series{Label: label}
+	evalEvery := iters / 10
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+	record := func(iter int) {
+		loss := tr.EvalLoss(val.Input, val.Targets)
+		series.Points = append(series.Points, Fig4Point{Iteration: iter, Perplexity: nn.Perplexity(loss)})
+	}
+	record(0)
+	cursor := 0
+	for i := 1; i <= iters; i++ {
+		b, c := corpus.LMBatch(cursor, spec.batch, spec.cfg.Seq)
+		cursor = c
+		tr.TrainStep(b.Input, b.Targets)
+		if i%evalEvery == 0 {
+			record(i)
+		}
+	}
+	return series
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSparsitySweepShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows := SparsitySweep(&buf)
+	if len(rows) < 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var sawDrop bool
+	for i, r := range rows {
+		if !r.Feasible {
+			t.Fatalf("p=%.2f infeasible (2.7B fits dense on 512 GPUs)", r.Sparsity)
+		}
+		if i > 0 {
+			prev := rows[i-1]
+			// Memory strictly decreases with sparsity.
+			if r.MemoryGB >= prev.MemoryGB {
+				t.Errorf("memory must fall with sparsity: %.2f -> %.2f GB", prev.MemoryGB, r.MemoryGB)
+			}
+			// Ginter never increases.
+			if r.Ginter > prev.Ginter {
+				t.Errorf("Ginter rose with sparsity: %d -> %d", prev.Ginter, r.Ginter)
+			}
+			if r.Ginter < prev.Ginter {
+				sawDrop = true
+				// A Ginter drop must improve batch time.
+				if r.BatchTime >= prev.BatchTime {
+					t.Errorf("Ginter drop at p=%.2f did not speed up: %.3f -> %.3f",
+						r.Sparsity, prev.BatchTime, r.BatchTime)
+				}
+			}
+		}
+	}
+	if !sawDrop {
+		t.Error("sweep never shrank Ginter — the mechanism under test")
+	}
+	// At low sparsity SAMO must LOSE (compression overhead, no comm gain);
+	// at 0.9 it must win big. The performance break-even lies between the
+	// memory break-even (0.25) and the first Ginter drop.
+	if rows[0].SpeedupPct >= 0 {
+		t.Errorf("p=0 should be a slowdown, got %+.1f%%", rows[0].SpeedupPct)
+	}
+	last := rows[len(rows)-1]
+	if last.SpeedupPct < 20 {
+		t.Errorf("p=%.2f speedup %.1f%%, want large", last.Sparsity, last.SpeedupPct)
+	}
+}

@@ -1,0 +1,209 @@
+package intra
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sparse-dl/samo/internal/comm"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// runTP runs fn on every rank of a fresh gsize-way tensor-parallel group.
+func runTP(gsize int, fn func(g Group)) {
+	f := comm.NewFabric(gsize)
+	ranks := make([]int, gsize)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < gsize; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(Group{Rank: f.Rank(r), Ranks: ranks})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// serialMLP is the unsharded reference: fc1 → GELU → fc2 built from the
+// same seeds the parallel shards slice from.
+func serialMLP(d int, seed uint64) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	rng := tensor.NewRNG(seed)
+	w1 := tensor.New(d, 4*d)
+	tensor.FillXavier(w1, d, 4*d, rng)
+	rng2 := tensor.NewRNG(seed + 1)
+	w2 := tensor.New(4*d, d)
+	tensor.FillXavier(w2, 4*d, d, rng2)
+	b1 := tensor.New(4 * d)
+	b2 := tensor.New(d)
+	return w1, b1, w2, b2
+}
+
+func serialForward(x, w1, b1, w2, b2 *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	h := tensor.MatMul(x, w1)
+	tensor.AddBias(h, b1)
+	pre := tensor.GELU(h)
+	z := tensor.MatMul(h, w2)
+	tensor.AddBias(z, b2)
+	return z, h, pre
+}
+
+func TestShardColsCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, g int }{{8, 2}, {9, 2}, {16, 4}, {7, 3}} {
+		covered := 0
+		prev := 0
+		for p := 0; p < tc.g; p++ {
+			lo, hi := shardCols(tc.n, tc.g, p)
+			if lo != prev {
+				t.Fatalf("gap in shards of %d over %d", tc.n, tc.g)
+			}
+			covered += hi - lo
+			prev = hi
+		}
+		if covered != tc.n {
+			t.Fatalf("shards cover %d of %d", covered, tc.n)
+		}
+	}
+}
+
+func TestMLPBlockMatchesSerialForward(t *testing.T) {
+	const d, n = 8, 5
+	x := tensor.New(n, d)
+	tensor.FillNormal(x, 1, tensor.NewRNG(42))
+
+	w1, b1, w2, b2 := serialMLP(d, 7)
+	want, _, _ := serialForward(x.Clone(), w1, b1, w2, b2)
+
+	for _, gsize := range []int{1, 2, 4} {
+		outs := make([]*tensor.Tensor, gsize)
+		runTP(gsize, func(g Group) {
+			blk := tpBlock(g, d, 7)
+			// The row layer consumes the column layer's local shard, so the
+			// block wiring handles sharding internally; input is replicated.
+			y, _ := blk.Forward(x.Clone(), false)
+			outs[g.Pos()] = y
+		})
+		for p := 0; p < gsize; p++ {
+			if d := tensor.MaxAbsDiff(outs[p], want); d > 1e-4 {
+				t.Errorf("gsize %d pos %d: output diff %g", gsize, p, d)
+			}
+		}
+	}
+}
+
+// tpBlock builds the sharded MLP from the same full-matrix seeds as
+// serialMLP.
+func tpBlock(g Group, d int, seed uint64) *MLPBlock {
+	return &MLPBlock{
+		Col: NewColumnParallel("fc1", g, d, 4*d, tensor.NewRNG(seed)),
+		Row: NewRowParallel("fc2", g, 4*d, d, tensor.NewRNG(seed+1)),
+	}
+}
+
+func TestMLPBlockGradientsMatchSerial(t *testing.T) {
+	const d, n = 8, 4
+	x := tensor.New(n, d)
+	tensor.FillNormal(x, 1, tensor.NewRNG(50))
+	gy := tensor.New(n, d)
+	tensor.FillNormal(gy, 1, tensor.NewRNG(51))
+
+	// Serial reference gradients, computed by hand:
+	// z = gelu(x·w1+b1)·w2+b2.
+	w1, b1, w2, b2 := serialMLP(d, 9)
+	_, h, pre := serialForward(x.Clone(), w1, b1, w2, b2)
+	// dZ = gy; dW2 = hᵀ·gy; dH = gy·w2ᵀ ∘ gelu'(pre); dW1 = xᵀ·dH; dX = dH·w1ᵀ.
+	dW2 := tensor.TMatMul(h, gy)
+	dH := tensor.MatMulT(gy, w2)
+	tensor.GELUBackward(dH, pre)
+	dW1 := tensor.TMatMul(x, dH)
+	dX := tensor.MatMulT(dH, w1)
+
+	const gsize = 2
+	dxs := make([]*tensor.Tensor, gsize)
+	colGrads := make([]*tensor.Tensor, gsize)
+	rowGrads := make([]*tensor.Tensor, gsize)
+	runTP(gsize, func(g Group) {
+		blk := tpBlock(g, d, 9)
+		y, cache := blk.Forward(x.Clone(), true)
+		_ = y
+		dxs[g.Pos()] = blk.Backward(cache, gy.Clone())
+		colGrads[g.Pos()] = blk.Col.W.Grad
+		rowGrads[g.Pos()] = blk.Row.W.Grad
+	})
+	// Input grads are replicated and must match the serial dX.
+	for p := 0; p < gsize; p++ {
+		if d := tensor.MaxAbsDiff(dxs[p], dX); d > 1e-3 {
+			t.Errorf("pos %d: input grad diff %g", p, d)
+		}
+	}
+	// Shard gradients reassemble the full weight gradients.
+	fullCol := tensor.New(d, 4*d)
+	for p := 0; p < gsize; p++ {
+		lo, hi := shardCols(4*d, gsize, p)
+		for r := 0; r < d; r++ {
+			copy(fullCol.Data()[r*4*d+lo:r*4*d+hi],
+				colGrads[p].Data()[r*(hi-lo):(r+1)*(hi-lo)])
+		}
+	}
+	if diff := tensor.MaxAbsDiff(fullCol, dW1); diff > 1e-3 {
+		t.Errorf("column weight grad diff %g", diff)
+	}
+	fullRow := tensor.New(4*d, d)
+	for p := 0; p < gsize; p++ {
+		lo, hi := shardCols(4*d, gsize, p)
+		copy(fullRow.Data()[lo*d:hi*d], rowGrads[p].Data())
+	}
+	if diff := tensor.MaxAbsDiff(fullRow, dW2); diff > 1e-3 {
+		t.Errorf("row weight grad diff %g", diff)
+	}
+}
+
+func TestTensorParallelTrainingStep(t *testing.T) {
+	// A few SGD steps on the sharded block track the serial block exactly:
+	// the demonstration that intra-layer parallelism is a pure refactoring
+	// of the math (what DeepSpeed-3D's baseline assumes).
+	const d, n, gsize = 8, 4, 2
+	x := tensor.New(n, d)
+	tensor.FillNormal(x, 1, tensor.NewRNG(60))
+	gy := tensor.New(n, d)
+	tensor.FillNormal(gy, 0.1, tensor.NewRNG(61))
+	const lr = 0.1
+
+	// Serial run.
+	w1, b1, w2, b2 := serialMLP(d, 11)
+	for step := 0; step < 3; step++ {
+		_, h, pre := serialForward(x.Clone(), w1, b1, w2, b2)
+		dW2 := tensor.TMatMul(h, gy)
+		db2 := tensor.SumRows(gy)
+		dH := tensor.MatMulT(gy, w2)
+		tensor.GELUBackward(dH, pre)
+		dW1 := tensor.TMatMul(x, dH)
+		db1 := tensor.SumRows(dH)
+		tensor.Axpy(w1, dW1, -lr)
+		tensor.Axpy(b1, db1, -lr)
+		tensor.Axpy(w2, dW2, -lr)
+		tensor.Axpy(b2, db2, -lr)
+	}
+	want, _, _ := serialForward(x.Clone(), w1, b1, w2, b2)
+
+	outs := make([]*tensor.Tensor, gsize)
+	runTP(gsize, func(g Group) {
+		blk := tpBlock(g, d, 11)
+		for step := 0; step < 3; step++ {
+			_, cache := blk.Forward(x.Clone(), true)
+			blk.Backward(cache, gy.Clone())
+			for _, p := range blk.Params() {
+				tensor.Axpy(p.Value, p.Grad, -lr)
+				p.ZeroGrad()
+			}
+		}
+		y, _ := blk.Forward(x.Clone(), false)
+		outs[g.Pos()] = y
+	})
+	for p := 0; p < gsize; p++ {
+		if diff := tensor.MaxAbsDiff(outs[p], want); diff > 1e-3 {
+			t.Errorf("pos %d: post-training output diff %g", p, diff)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// CausalSelfAttention is multi-head scaled-dot-product attention with a
+// causal mask — the attention of GPT-style decoders. Input and output are
+// (batch·seq, d) with the sequence length fixed at construction (static
+// shapes keep the pipeline engine's message sizes constant, as in AxoNN).
+type CausalSelfAttention struct {
+	Wqkv, Bqkv   *Param // (d, 3d), (3d)
+	Wproj, Bproj *Param // (d, d), (d)
+	d, heads, dh int
+	seq          int
+}
+
+// NewCausalSelfAttention creates an attention layer with d model dims and
+// the given head count over sequences of length seq.
+func NewCausalSelfAttention(name string, d, heads, seq int, rng *tensor.RNG) *CausalSelfAttention {
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: d=%d not divisible by heads=%d", d, heads))
+	}
+	a := &CausalSelfAttention{
+		Wqkv:  newParam(name+".wqkv", d, 3*d),
+		Bqkv:  newParam(name+".bqkv", 3*d),
+		Wproj: newParam(name+".wproj", d, d),
+		Bproj: newParam(name+".bproj", d),
+		d:     d, heads: heads, dh: d / heads, seq: seq,
+	}
+	tensor.FillXavier(a.Wqkv.Value, d, 3*d, rng)
+	tensor.FillXavier(a.Wproj.Value, d, d, rng)
+	return a
+}
+
+type attnCache struct {
+	x     *tensor.Tensor // (B·T, d)
+	qkv   *tensor.Tensor // (B·T, 3d)
+	probs []float32      // (B, H, T, T) softmax rows
+	heads *tensor.Tensor // (B·T, d) concatenated head outputs
+	batch int
+}
+
+// Forward computes attention over x of shape (batch·seq, d).
+func (a *CausalSelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 2 || x.Dim(1) != a.d || x.Dim(0)%a.seq != 0 {
+		panic(fmt.Sprintf("nn: attention(d=%d,seq=%d) got %v", a.d, a.seq, x.Shape()))
+	}
+	batch := x.Dim(0) / a.seq
+	T, H, dh := a.seq, a.heads, a.dh
+
+	qkv := tensor.MatMul(x, a.Wqkv.Value)
+	tensor.AddBias(qkv, a.Bqkv.Value)
+
+	probs := make([]float32, batch*H*T*T)
+	headsOut := tensor.New(batch*T, a.d)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	qd := qkv.Data()
+	stride := 3 * a.d
+
+	for b := 0; b < batch; b++ {
+		for h := 0; h < H; h++ {
+			qOff := h * dh
+			kOff := a.d + h*dh
+			vOff := 2*a.d + h*dh
+			pBase := (b*H + h) * T * T
+			// scores + softmax row by row (causal: j <= i).
+			for i := 0; i < T; i++ {
+				qi := qd[(b*T+i)*stride+qOff : (b*T+i)*stride+qOff+dh]
+				row := probs[pBase+i*T : pBase+i*T+T]
+				maxv := float32(math.Inf(-1))
+				for j := 0; j <= i; j++ {
+					kj := qd[(b*T+j)*stride+kOff : (b*T+j)*stride+kOff+dh]
+					var s float32
+					for c := 0; c < dh; c++ {
+						s += qi[c] * kj[c]
+					}
+					s *= scale
+					row[j] = s
+					if s > maxv {
+						maxv = s
+					}
+				}
+				var sum float64
+				for j := 0; j <= i; j++ {
+					e := float32(math.Exp(float64(row[j] - maxv)))
+					row[j] = e
+					sum += float64(e)
+				}
+				inv := float32(1 / sum)
+				for j := 0; j <= i; j++ {
+					row[j] *= inv
+				}
+				for j := i + 1; j < T; j++ {
+					row[j] = 0
+				}
+				// out_i = Σ_j p_ij v_j
+				oi := headsOut.Data()[(b*T+i)*a.d+h*dh : (b*T+i)*a.d+h*dh+dh]
+				for j := 0; j <= i; j++ {
+					p := row[j]
+					if p == 0 {
+						continue
+					}
+					vj := qd[(b*T+j)*stride+vOff : (b*T+j)*stride+vOff+dh]
+					for c := 0; c < dh; c++ {
+						oi[c] += p * vj[c]
+					}
+				}
+			}
+		}
+	}
+
+	y := tensor.MatMul(headsOut, a.Wproj.Value)
+	tensor.AddBias(y, a.Bproj.Value)
+	if !train {
+		return y, nil
+	}
+	return y, &attnCache{x: x, qkv: qkv, probs: probs, heads: headsOut, batch: batch}
+}
+
+// Backward propagates through projection, attention weights and the QKV
+// projection, accumulating all four parameter gradients.
+func (a *CausalSelfAttention) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*attnCache)
+	batch, T, H, dh := c.batch, a.seq, a.heads, a.dh
+	stride := 3 * a.d
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	// Projection backward.
+	dWp := tensor.TMatMul(c.heads, gradOut)
+	tensor.Add(a.Wproj.Grad, dWp)
+	tensor.Add(a.Bproj.Grad, tensor.SumRows(gradOut))
+	dHeads := tensor.MatMulT(gradOut, a.Wproj.Value) // (B·T, d)
+
+	dQKV := tensor.New(batch*T, stride)
+	qd, dqd := c.qkv.Data(), dQKV.Data()
+	hd := dHeads.Data()
+
+	for b := 0; b < batch; b++ {
+		for h := 0; h < H; h++ {
+			qOff := h * dh
+			kOff := a.d + h*dh
+			vOff := 2*a.d + h*dh
+			pBase := (b*H + h) * T * T
+			for i := 0; i < T; i++ {
+				do := hd[(b*T+i)*a.d+h*dh : (b*T+i)*a.d+h*dh+dh]
+				row := c.probs[pBase+i*T : pBase+i*T+T]
+				// dV_j += p_ij * do ; dp_ij = do · v_j
+				dp := make([]float32, i+1)
+				for j := 0; j <= i; j++ {
+					p := row[j]
+					vj := qd[(b*T+j)*stride+vOff : (b*T+j)*stride+vOff+dh]
+					dvj := dqd[(b*T+j)*stride+vOff : (b*T+j)*stride+vOff+dh]
+					var s float32
+					for cc := 0; cc < dh; cc++ {
+						dvj[cc] += p * do[cc]
+						s += do[cc] * vj[cc]
+					}
+					dp[j] = s
+				}
+				// Softmax backward: ds_j = p_j (dp_j - Σ_k p_k dp_k).
+				var dot float32
+				for j := 0; j <= i; j++ {
+					dot += row[j] * dp[j]
+				}
+				qi := qd[(b*T+i)*stride+qOff : (b*T+i)*stride+qOff+dh]
+				dqi := dqd[(b*T+i)*stride+qOff : (b*T+i)*stride+qOff+dh]
+				for j := 0; j <= i; j++ {
+					ds := row[j] * (dp[j] - dot) * scale
+					if ds == 0 {
+						continue
+					}
+					kj := qd[(b*T+j)*stride+kOff : (b*T+j)*stride+kOff+dh]
+					dkj := dqd[(b*T+j)*stride+kOff : (b*T+j)*stride+kOff+dh]
+					for cc := 0; cc < dh; cc++ {
+						dqi[cc] += ds * kj[cc]
+						dkj[cc] += ds * qi[cc]
+					}
+				}
+			}
+		}
+	}
+
+	// QKV projection backward.
+	dWqkv := tensor.TMatMul(c.x, dQKV)
+	tensor.Add(a.Wqkv.Grad, dWqkv)
+	tensor.Add(a.Bqkv.Grad, tensor.SumRows(dQKV))
+	return tensor.MatMulT(dQKV, a.Wqkv.Value)
+}
+
+// Params returns the QKV and output-projection parameters.
+func (a *CausalSelfAttention) Params() []*Param {
+	return []*Param{a.Wqkv, a.Bqkv, a.Wproj, a.Bproj}
+}

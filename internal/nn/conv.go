@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution lowered to im2col + dense GEMM (the cuDNN
+// strategy): the weight stays a dense matrix so SAMO's dense-compute
+// requirement holds for CNNs exactly as for FC layers.
+type Conv2d struct {
+	W, B *Param // W stored as (outC, inC·k·k); B as (outC)
+	Spec tensor.ConvSpec
+}
+
+// NewConv2d creates a convolution with He-normal init.
+func NewConv2d(name string, spec tensor.ConvSpec, rng *tensor.RNG) *Conv2d {
+	fanIn := spec.InC * spec.Kernel * spec.Kernel
+	c := &Conv2d{
+		W:    newParam(name+".weight", spec.OutC, fanIn),
+		B:    newParam(name+".bias", spec.OutC),
+		Spec: spec,
+	}
+	tensor.FillKaiming(c.W.Value, fanIn, rng)
+	return c
+}
+
+type convCache struct {
+	cols *tensor.Tensor
+	n    int
+}
+
+// Forward lowers the input and multiplies against the filter matrix,
+// producing an NCHW output.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: Conv2d got input %v", x.Shape()))
+	}
+	n := x.Dim(0)
+	cols := tensor.Im2Col(x, c.Spec) // (n·oh·ow, inC·k·k)
+	out := tensor.MatMulT(cols, c.W.Value)
+	tensor.AddBias(out, c.B.Value)
+	y := rowsToNCHW(out, n, c.Spec.OutC, c.Spec.OutH(), c.Spec.OutW())
+	if !train {
+		return y, nil
+	}
+	return y, &convCache{cols: cols, n: n}
+}
+
+// Backward computes filter/bias gradients and the input gradient via the
+// col2im adjoint.
+func (c *Conv2d) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*convCache)
+	oh, ow := c.Spec.OutH(), c.Spec.OutW()
+	// NCHW grad -> (n·oh·ow, outC) rows matching im2col layout.
+	gRows := nchwToRows(gradOut, cc.n, c.Spec.OutC, oh, ow)
+	// dW (outC, inC·k·k) = gRowsᵀ · cols
+	dW := tensor.TMatMul(gRows, cc.cols)
+	tensor.Add(c.W.Grad, dW)
+	tensor.Add(c.B.Grad, tensor.SumRows(gRows))
+	// dcols (n·oh·ow, inC·k·k) = gRows · W
+	dCols := tensor.MatMul(gRows, c.W.Value)
+	return tensor.Col2Im(dCols, c.Spec, cc.n)
+}
+
+// Params returns the filter matrix and bias.
+func (c *Conv2d) Params() []*Param { return []*Param{c.W, c.B} }
+
+func rowsToNCHW(rows *tensor.Tensor, n, ch, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n, ch, oh, ow)
+	hw := oh * ow
+	for r := 0; r < n*hw; r++ {
+		img := r / hw
+		pos := r % hw
+		for oc := 0; oc < ch; oc++ {
+			out.Data()[(img*ch+oc)*hw+pos] = rows.Data()[r*ch+oc]
+		}
+	}
+	return out
+}
+
+func nchwToRows(t *tensor.Tensor, n, ch, oh, ow int) *tensor.Tensor {
+	rows := tensor.New(n*oh*ow, ch)
+	hw := oh * ow
+	for r := 0; r < n*hw; r++ {
+		img := r / hw
+		pos := r % hw
+		for oc := 0; oc < ch; oc++ {
+			rows.Data()[r*ch+oc] = t.Data()[(img*ch+oc)*hw+pos]
+		}
+	}
+	return rows
+}
+
+// MaxPool halves spatial dimensions with a 2×2/stride-2 max pool.
+type MaxPool struct{}
+
+type poolCache struct {
+	arg     []int32
+	inShape []int
+}
+
+// Forward pools and caches argmax indices.
+func (MaxPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y, arg := tensor.MaxPool2x2(x)
+	if !train {
+		return y, nil
+	}
+	return y, &poolCache{arg: arg, inShape: append([]int(nil), x.Shape()...)}
+}
+
+// Backward scatters gradient to argmax positions.
+func (MaxPool) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*poolCache)
+	return tensor.MaxPool2x2Backward(gradOut, c.arg, c.inShape)
+}
+
+// Params returns nil: pooling has no parameters.
+func (MaxPool) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces NCHW to (n, c) by averaging each channel, the head
+// of ResNet-style networks.
+type GlobalAvgPool struct{}
+
+// Forward averages spatial positions per channel.
+func (GlobalAvgPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	y := tensor.New(n, c)
+	inv := 1 / float32(hw)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			off := (img*c + ch) * hw
+			var s float32
+			for i := 0; i < hw; i++ {
+				s += x.Data()[off+i]
+			}
+			y.Data()[img*c+ch] = s * inv
+		}
+	}
+	return y, append([]int(nil), x.Shape()...)
+}
+
+// Backward broadcasts the gradient uniformly over spatial positions.
+func (GlobalAvgPool) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	shape := cache.([]int)
+	n, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	hw := h * w
+	dx := tensor.New(shape...)
+	inv := 1 / float32(hw)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			g := gradOut.Data()[img*c+ch] * inv
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dx.Data()[off+i] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (GlobalAvgPool) Params() []*Param { return nil }
+
+// ResidualBlock is a pre-activation WideResNet basic block:
+// y = shortcut(x) + Conv2(ReLU(BN2(Conv1(ReLU(BN1(x)))))). When the channel
+// count or stride changes, the shortcut is a 1×1 convolution.
+type ResidualBlock struct {
+	BN1, BN2     *BatchNorm2d
+	Conv1, Conv2 *Conv2d
+	Shortcut     *Conv2d // nil for identity
+}
+
+// NewResidualBlock builds a block mapping (inC, h, w) to (outC, h/stride,
+// w/stride).
+func NewResidualBlock(name string, inC, outC, h, w, stride int, rng *tensor.RNG) *ResidualBlock {
+	b := &ResidualBlock{
+		BN1: NewBatchNorm2d(name+".bn1", inC),
+		Conv1: NewConv2d(name+".conv1", tensor.ConvSpec{
+			InC: inC, OutC: outC, Kernel: 3, Stride: stride, Pad: 1, InH: h, InW: w}, rng),
+	}
+	oh, ow := b.Conv1.Spec.OutH(), b.Conv1.Spec.OutW()
+	b.BN2 = NewBatchNorm2d(name+".bn2", outC)
+	b.Conv2 = NewConv2d(name+".conv2", tensor.ConvSpec{
+		InC: outC, OutC: outC, Kernel: 3, Stride: 1, Pad: 1, InH: oh, InW: ow}, rng)
+	if inC != outC || stride != 1 {
+		b.Shortcut = NewConv2d(name+".shortcut", tensor.ConvSpec{
+			InC: inC, OutC: outC, Kernel: 1, Stride: stride, Pad: 0, InH: h, InW: w}, rng)
+	}
+	return b
+}
+
+type resCache struct {
+	x                *tensor.Tensor
+	c1, c2, cb1, cb2 any
+	r1, r2           *tensor.Tensor // relu masks
+	cs               any
+}
+
+// Forward runs the two-conv residual path plus shortcut.
+func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	h1, cb1 := b.BN1.Forward(x, train)
+	r1 := tensor.ReLU(h1)
+	h2, c1 := b.Conv1.Forward(h1, train)
+	h3, cb2 := b.BN2.Forward(h2, train)
+	r2 := tensor.ReLU(h3)
+	h4, c2 := b.Conv2.Forward(h3, train)
+	var short *tensor.Tensor
+	var cs any
+	if b.Shortcut != nil {
+		short, cs = b.Shortcut.Forward(x, train)
+	} else {
+		short = x
+	}
+	y := h4.Clone()
+	tensor.Add(y, short)
+	if !train {
+		return y, nil
+	}
+	return y, &resCache{x: x, c1: c1, c2: c2, cb1: cb1, cb2: cb2, r1: r1, r2: r2, cs: cs}
+}
+
+// Backward propagates through both paths and sums the input gradients.
+func (b *ResidualBlock) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*resCache)
+	// Main path: conv2 <- relu2 <- bn2 <- conv1 <- relu1 <- bn1.
+	g := b.Conv2.Backward(c.c2, gradOut)
+	tensor.Mul(g, c.r2)
+	g = b.BN2.Backward(c.cb2, g)
+	g = b.Conv1.Backward(c.c1, g)
+	tensor.Mul(g, c.r1)
+	g = b.BN1.Backward(c.cb1, g)
+	// Shortcut path.
+	if b.Shortcut != nil {
+		gs := b.Shortcut.Backward(c.cs, gradOut)
+		tensor.Add(g, gs)
+	} else {
+		tensor.Add(g, gradOut)
+	}
+	return g
+}
+
+// Params returns all parameters of the block.
+func (b *ResidualBlock) Params() []*Param {
+	ps := append(b.BN1.Params(), b.Conv1.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	if b.Shortcut != nil {
+		ps = append(ps, b.Shortcut.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b with W of shape (in, out).
+// FC layers are the paper's Figure 1 workload and dominate transformer
+// compute; their weights are the primary pruning target.
+type Linear struct {
+	W, B *Param
+	in   int
+	out  int
+}
+
+// NewLinear creates a Linear layer with Xavier-uniform weights.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		W:  newParam(name+".weight", in, out),
+		B:  newParam(name+".bias", out),
+		in: in, out: out,
+	}
+	tensor.FillXavier(l.W.Value, in, out, rng)
+	return l
+}
+
+type linearCache struct{ x *tensor.Tensor }
+
+// Forward computes y = x·W + b for x of shape (n, in).
+func (l *Linear) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 2 || x.Dim(1) != l.in {
+		panic(fmt.Sprintf("nn: Linear(%d,%d) got input %v", l.in, l.out, x.Shape()))
+	}
+	y := tensor.MatMul(x, l.W.Value)
+	tensor.AddBias(y, l.B.Value)
+	if !train {
+		return y, nil
+	}
+	return y, &linearCache{x: x}
+}
+
+// Backward computes dW += xᵀ·dy, db += Σrows dy, and returns dx = dy·Wᵀ.
+func (l *Linear) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*linearCache)
+	dW := tensor.TMatMul(c.x, gradOut)
+	tensor.Add(l.W.Grad, dW)
+	tensor.Add(l.B.Grad, tensor.SumRows(gradOut))
+	return tensor.MatMulT(gradOut, l.W.Value)
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLULayer applies the rectifier elementwise.
+type ReLULayer struct{}
+
+// Forward clamps negatives to zero, caching the activation mask.
+func (ReLULayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y := x.Clone()
+	mask := tensor.ReLU(y)
+	if !train {
+		return y, nil
+	}
+	return y, mask
+}
+
+// Backward zeroes gradient where the input was negative.
+func (ReLULayer) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut.Clone()
+	tensor.Mul(g, cache.(*tensor.Tensor))
+	return g
+}
+
+// Params returns nil: ReLU has no parameters.
+func (ReLULayer) Params() []*Param { return nil }
+
+// GELULayer applies the Gaussian error linear unit (transformer MLPs).
+type GELULayer struct{}
+
+// Forward applies GELU, caching pre-activations.
+func (GELULayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y := x.Clone()
+	pre := tensor.GELU(y)
+	if !train {
+		return y, nil
+	}
+	return y, pre
+}
+
+// Backward multiplies by dGELU/dx at the cached pre-activations.
+func (GELULayer) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut.Clone()
+	tensor.GELUBackward(g, cache.(*tensor.Tensor))
+	return g
+}
+
+// Params returns nil: GELU has no parameters.
+func (GELULayer) Params() []*Param { return nil }
+
+// Flatten reshapes (n, ...) to (n, rest), the CNN-to-classifier bridge.
+type Flatten struct{}
+
+// Forward flattens all but the leading dimension.
+func (Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	return x.Reshape(x.Dim(0), -1), x.Shape()
+}
+
+// Backward restores the original shape.
+func (Flatten) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(cache.([]int)...)
+}
+
+// Params returns nil: Flatten has no parameters.
+func (Flatten) Params() []*Param { return nil }

@@ -1,0 +1,194 @@
+// Package nn is the neural-network substrate of the SAMO reproduction:
+// layers with explicit forward/backward passes, a parameter registry, loss
+// functions, and builders for the paper's model zoo (VGG-19, WideResNet-101
+// and the GPT-3 family from Table I).
+//
+// Layers are stateless with respect to activations: Forward returns an
+// opaque cache that Backward consumes. This is load-bearing for the
+// reproduction — AxoNN's pipeline keeps several microbatches in flight per
+// GPU, so activation state cannot live inside the layer.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator. Value is the
+// tensor the forward/backward kernels read (θ16's dense stand-in — under
+// mixed precision it holds fp16-quantized values); Grad accumulates across
+// microbatches.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// NoPrune excludes the parameter from pruning even if it is a matrix.
+	// Embedding tables set it: pruning them harms accuracy disproportionately
+	// and standard GPT pruning recipes (e.g. Cerebras' 90%-sparse GPT-3 runs
+	// the paper cites) keep them dense.
+	NoPrune bool
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Size returns the number of elements.
+func (p *Param) Size() int { return p.Value.Len() }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward computes the output and an
+// opaque cache; Backward consumes the cache, accumulates parameter
+// gradients into Params().Grad, and returns the gradient w.r.t. the input.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) (y *tensor.Tensor, cache any)
+	Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Model is an ordered stack of layers — the unit AxoNN partitions across
+// inter-layer-parallel GPUs.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Params returns all parameters in layer order.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total parameter count φ.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs all layers, returning the output and per-layer caches.
+func (m *Model) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, []any) {
+	caches := make([]any, len(m.Layers))
+	for i, l := range m.Layers {
+		x, caches[i] = l.Forward(x, train)
+	}
+	return x, caches
+}
+
+// GradHook is called after each layer's backward pass with that layer's
+// parameters — the exact point SAMO compresses ∇θ16 at layer granularity so
+// the whole model's dense gradients never coexist in memory (§III-C).
+type GradHook func(layer Layer)
+
+// Backward runs the reverse pass from the output gradient, invoking hook (if
+// non-nil) after each layer. Returns the gradient w.r.t. the model input.
+func (m *Model) Backward(caches []any, gradOut *tensor.Tensor, hook GradHook) *tensor.Tensor {
+	if len(caches) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d caches for %d layers", len(caches), len(m.Layers)))
+	}
+	g := gradOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(caches[i], g)
+		if hook != nil {
+			hook(m.Layers[i])
+		}
+	}
+	return g
+}
+
+// PruneLayers adapts the model's parameters for the prune package. Only
+// weight matrices are prunable; biases and normalization affine parameters
+// are kept dense (standard practice — they are a negligible fraction of φ
+// and pruning them harms accuracy disproportionately).
+func (m *Model) PruneLayers() []PruneEntry {
+	var out []PruneEntry
+	for _, p := range m.Params() {
+		if Prunable(p) {
+			out = append(out, PruneEntry{Name: p.Name, Param: p})
+		}
+	}
+	return out
+}
+
+// PruneEntry pairs a parameter with its registry name.
+type PruneEntry struct {
+	Name  string
+	Param *Param
+}
+
+// Prunable reports whether a parameter participates in pruning: rank >= 2
+// (weight matrices and conv filters), not biases/affine vectors, and not
+// explicitly excluded (embedding tables).
+func Prunable(p *Param) bool { return p.Value.Rank() >= 2 && !p.NoPrune }
+
+// CrossEntropy computes the mean cross-entropy loss of logits (N, V) against
+// integer targets, and the gradient w.r.t. the logits. Target -1 means
+// "ignore" (padding). The gradient is already divided by the number of
+// counted targets, so microbatch gradients sum to the batch gradient after
+// scaling by microbatch count (the engine handles that normalization).
+func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 || logits.Dim(0) != len(targets) {
+		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs %d targets", logits.Shape(), len(targets)))
+	}
+	n, v := logits.Dim(0), logits.Dim(1)
+	grad := tensor.New(n, v)
+	var loss float64
+	counted := 0
+	for i := 0; i < n; i++ {
+		if targets[i] < 0 {
+			continue
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(counted)
+	for i := 0; i < n; i++ {
+		t := targets[i]
+		if t < 0 {
+			continue
+		}
+		row := logits.Data()[i*v : (i+1)*v]
+		max := row[0]
+		for _, x := range row[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		var sum float64
+		for _, x := range row {
+			sum += math.Exp(float64(x - max))
+		}
+		logZ := math.Log(sum) + float64(max)
+		loss += (logZ - float64(row[t])) * inv
+		g := grad.Data()[i*v : (i+1)*v]
+		for j, x := range row {
+			p := math.Exp(float64(x)-logZ) * inv
+			g[j] = float32(p)
+			_ = x
+		}
+		g[t] -= float32(inv)
+	}
+	return loss, grad
+}
+
+// Perplexity converts a mean cross-entropy loss to perplexity, the paper's
+// Figure 4 metric.
+func Perplexity(loss float64) float64 { return math.Exp(loss) }

@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+const normEps = 1e-5
+
+// LayerNorm normalizes each row of an (n, d) tensor to zero mean and unit
+// variance, then applies a learned affine transform — the normalization used
+// throughout GPT-style transformers.
+type LayerNorm struct {
+	Gamma, Beta *Param
+	d           int
+}
+
+// NewLayerNorm creates a LayerNorm over feature dimension d (γ=1, β=0).
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{Gamma: newParam(name+".gamma", d), Beta: newParam(name+".beta", d), d: d}
+	ln.Gamma.Value.Fill(1)
+	return ln
+}
+
+type lnCache struct {
+	xhat   *tensor.Tensor
+	invStd []float32
+}
+
+// Forward normalizes rows and applies γ,β.
+func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 2 || x.Dim(1) != ln.d {
+		panic(fmt.Sprintf("nn: LayerNorm(%d) got input %v", ln.d, x.Shape()))
+	}
+	n, d := x.Dim(0), ln.d
+	y := tensor.New(n, d)
+	xhat := tensor.New(n, d)
+	invStd := make([]float32, n)
+	g, b := ln.Gamma.Value.Data(), ln.Beta.Value.Data()
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varr float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			varr += dv * dv
+		}
+		varr /= float64(d)
+		is := float32(1 / math.Sqrt(varr+normEps))
+		invStd[i] = is
+		xr := xhat.Data()[i*d : (i+1)*d]
+		yr := y.Data()[i*d : (i+1)*d]
+		for j, v := range row {
+			xh := (v - float32(mean)) * is
+			xr[j] = xh
+			yr[j] = g[j]*xh + b[j]
+		}
+	}
+	if !train {
+		return y, nil
+	}
+	return y, &lnCache{xhat: xhat, invStd: invStd}
+}
+
+// Backward computes input, γ and β gradients with the standard LayerNorm
+// backward identity.
+func (ln *LayerNorm) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*lnCache)
+	n, d := gradOut.Dim(0), ln.d
+	dx := tensor.New(n, d)
+	g := ln.Gamma.Value.Data()
+	dg, db := ln.Gamma.Grad.Data(), ln.Beta.Grad.Data()
+	for i := 0; i < n; i++ {
+		dy := gradOut.Data()[i*d : (i+1)*d]
+		xh := c.xhat.Data()[i*d : (i+1)*d]
+		// Accumulate parameter grads and the two row means.
+		var m1, m2 float64 // mean(dxhat), mean(dxhat*xhat)
+		for j := 0; j < d; j++ {
+			dg[j] += dy[j] * xh[j]
+			db[j] += dy[j]
+			dxh := float64(dy[j] * g[j])
+			m1 += dxh
+			m2 += dxh * float64(xh[j])
+		}
+		m1 /= float64(d)
+		m2 /= float64(d)
+		out := dx.Data()[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			dxh := float64(dy[j] * g[j])
+			out[j] = float32((dxh - m1 - float64(xh[j])*m2)) * c.invStd[i]
+		}
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// BatchNorm2d is per-channel batch normalization over NCHW tensors, used by
+// the CNN architectures (VGG with BN, WideResNet). Running statistics are
+// kept for evaluation mode.
+type BatchNorm2d struct {
+	Gamma, Beta     *Param
+	RunMean, RunVar []float32
+	Momentum        float32
+	c               int
+}
+
+// NewBatchNorm2d creates a BatchNorm over c channels.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		Gamma: newParam(name+".gamma", c), Beta: newParam(name+".beta", c),
+		RunMean: make([]float32, c), RunVar: make([]float32, c),
+		Momentum: 0.1, c: c,
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+type bnCache struct {
+	xhat   *tensor.Tensor
+	invStd []float32
+}
+
+// Forward normalizes each channel using batch statistics (training) or
+// running statistics (eval).
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 4 || x.Dim(1) != bn.c {
+		panic(fmt.Sprintf("nn: BatchNorm2d(%d) got input %v", bn.c, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), bn.c, x.Dim(2), x.Dim(3)
+	hw := h * w
+	cnt := float64(n * hw)
+	y := tensor.New(x.Shape()...)
+	g, b := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+
+	if !train {
+		for ch := 0; ch < c; ch++ {
+			is := float32(1 / math.Sqrt(float64(bn.RunVar[ch])+normEps))
+			mean := bn.RunMean[ch]
+			for img := 0; img < n; img++ {
+				off := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					y.Data()[off+i] = g[ch]*(x.Data()[off+i]-mean)*is + b[ch]
+				}
+			}
+		}
+		return y, nil
+	}
+
+	xhat := tensor.New(x.Shape()...)
+	invStd := make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		var mean float64
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				mean += float64(x.Data()[off+i])
+			}
+		}
+		mean /= cnt
+		var varr float64
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				d := float64(x.Data()[off+i]) - mean
+				varr += d * d
+			}
+		}
+		varr /= cnt
+		is := float32(1 / math.Sqrt(varr+normEps))
+		invStd[ch] = is
+		bn.RunMean[ch] = (1-bn.Momentum)*bn.RunMean[ch] + bn.Momentum*float32(mean)
+		bn.RunVar[ch] = (1-bn.Momentum)*bn.RunVar[ch] + bn.Momentum*float32(varr)
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				xh := (x.Data()[off+i] - float32(mean)) * is
+				xhat.Data()[off+i] = xh
+				y.Data()[off+i] = g[ch]*xh + b[ch]
+			}
+		}
+	}
+	return y, &bnCache{xhat: xhat, invStd: invStd}
+}
+
+// Backward computes input and affine gradients from batch statistics.
+func (bn *BatchNorm2d) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*bnCache)
+	n, c := gradOut.Dim(0), bn.c
+	hw := gradOut.Dim(2) * gradOut.Dim(3)
+	cnt := float64(n * hw)
+	dx := tensor.New(gradOut.Shape()...)
+	g := bn.Gamma.Value.Data()
+	dg, db := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dy := float64(gradOut.Data()[off+i])
+				sumDy += dy
+				sumDyXhat += dy * float64(cc.xhat.Data()[off+i])
+			}
+		}
+		dg[ch] += float32(sumDyXhat)
+		db[ch] += float32(sumDy)
+		m1 := sumDy / cnt
+		m2 := sumDyXhat / cnt
+		scale := g[ch] * cc.invStd[ch]
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dy := float64(gradOut.Data()[off+i])
+				xh := float64(cc.xhat.Data()[off+i])
+				dx.Data()[off+i] = scale * float32(dy-m1-xh*m2)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

@@ -1,0 +1,81 @@
+package nn
+
+import "github.com/sparse-dl/samo/internal/tensor"
+
+// Recompute wraps a layer with activation checkpointing (Chen et al.,
+// "Training Deep Nets with Sublinear Memory Cost"), which AxoNN enables for
+// large models (§II-E): the forward pass stores only the layer INPUT; the
+// backward pass re-runs the forward to rebuild the activation cache before
+// differentiating. Memory per in-flight microbatch drops from the layer's
+// full working set to one boundary tensor, at the cost of one extra forward
+// (the 4/3 recompute factor in Narayanan et al.'s flop formula, which the
+// simulator's FwdFraction=0.25 split already assumes).
+//
+// The wrapped layer must be deterministic given its input and parameters.
+// BatchNorm2d in training mode is NOT safe to wrap: the recomputation would
+// update its running statistics a second time. Transformer blocks,
+// convolutions, LayerNorm and activations all qualify.
+type Recompute struct {
+	Inner Layer
+}
+
+// WithRecompute wraps each layer of a model in Recompute.
+func WithRecompute(m *Model) *Model {
+	out := &Model{Name: m.Name + "+recompute"}
+	for _, l := range m.Layers {
+		out.Layers = append(out.Layers, Recompute{Inner: l})
+	}
+	return out
+}
+
+type recomputeCache struct {
+	x *tensor.Tensor
+}
+
+// Forward runs the inner layer and discards its cache, keeping only the
+// input.
+func (r Recompute) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y, _ := r.Inner.Forward(x, false) // eval-mode forward: no cache is built
+	if !train {
+		return y, nil
+	}
+	return y, &recomputeCache{x: x}
+}
+
+// Backward re-runs the inner forward in training mode to rebuild the cache,
+// then differentiates through it.
+func (r Recompute) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*recomputeCache)
+	_, inner := r.Inner.Forward(c.x, true)
+	return r.Inner.Backward(inner, gradOut)
+}
+
+// Params exposes the inner layer's parameters.
+func (r Recompute) Params() []*Param { return r.Inner.Params() }
+
+// CacheBytes estimates the activation bytes a cache value pins, for
+// comparing checkpointed against full caching in tests. It understands the
+// cache types of this package; unknown types report 0.
+func CacheBytes(cache any) int64 {
+	switch c := cache.(type) {
+	case nil:
+		return 0
+	case *recomputeCache:
+		return 4 * int64(c.x.Len())
+	case *linearCache:
+		return 4 * int64(c.x.Len())
+	case *lnCache:
+		return 4 * (int64(c.xhat.Len()) + int64(len(c.invStd)))
+	case *attnCache:
+		return 4 * (int64(c.x.Len()) + int64(c.qkv.Len()) + int64(len(c.probs)) + int64(c.heads.Len()))
+	case *blockCache:
+		return CacheBytes(c.cLN1) + CacheBytes(c.cAttn) + CacheBytes(c.cLN2) +
+			CacheBytes(c.cFC1) + CacheBytes(c.cGELU) + CacheBytes(c.cFC2)
+	case *convCache:
+		return 4 * int64(c.cols.Len())
+	case *tensor.Tensor: // ReLU mask / GELU pre-activations
+		return 4 * int64(c.Len())
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,240 @@
+// Package optim implements the optimizers the paper trains with — SGD with
+// momentum for the CNNs, AdamW for the GPT models — plus dynamic loss
+// scaling for mixed precision.
+//
+// Every optimizer operates on flat float32 slices (parameters, gradients,
+// states). This is deliberate: SAMO's compressed model states are flat
+// per-layer vectors over the unpruned coordinates, and the identical update
+// code runs on them — the paper's observation that "the optimizer can be
+// directly computed on the compressed state tensors using dense kernels"
+// (§III-C) is literally this property.
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates one flat parameter vector from its gradient. Each
+// parameter tensor (or compressed state vector) gets its own state slot,
+// addressed by key.
+type Optimizer interface {
+	// Step applies one update to params given grads (same length).
+	Step(key string, params, grads []float32)
+	// StateBytesPerParam reports the optimizer-state footprint in bytes per
+	// parameter (Adam: 8 — two fp32 moments; SGD+momentum: 4).
+	StateBytesPerParam() int
+	// States returns the state vectors for a key (for SAMO to manage their
+	// storage); created lazily on first Step.
+	States(key string) [][]float32
+	// StepCount returns the per-key update count (Adam's bias-correction
+	// clock; 0 for stateless-in-time optimizers like SGD).
+	StepCount(key string) int
+	// SetStepCount restores the per-key update count (checkpoint resume).
+	SetStepCount(key string, t int)
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 regularization (the paper's CNN recipe).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[string][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[string][]float32)}
+}
+
+// Step applies v = μv + (g + λθ); θ -= lr·v.
+func (s *SGD) Step(key string, params, grads []float32) {
+	checkLens(key, params, grads)
+	v, ok := s.velocity[key]
+	if !ok {
+		v = make([]float32, len(params))
+		s.velocity[key] = v
+	}
+	lr := float32(s.LR)
+	mu := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for i := range params {
+		g := grads[i] + wd*params[i]
+		v[i] = mu*v[i] + g
+		params[i] -= lr * v[i]
+	}
+}
+
+// StateBytesPerParam returns 4 (one fp32 velocity).
+func (s *SGD) StateBytesPerParam() int { return 4 }
+
+// States returns the velocity vector.
+func (s *SGD) States(key string) [][]float32 {
+	if v, ok := s.velocity[key]; ok {
+		return [][]float32{v}
+	}
+	return nil
+}
+
+// StepCount returns 0: SGD's update rule is time-invariant.
+func (s *SGD) StepCount(string) int { return 0 }
+
+// SetStepCount is a no-op for SGD.
+func (s *SGD) SetStepCount(string, int) {}
+
+// Adam is the Adam optimizer (Kingma & Ba) — the paper's memory model
+// assumes it: two fp32 states per parameter, the 8φ term in M_default.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// WeightDecay, when set with Decoupled, gives AdamW (Loshchilov &
+	// Hutter), the paper's optimizer for GPT models.
+	WeightDecay float64
+	Decoupled   bool
+
+	m, v map[string][]float32
+	t    map[string]int
+}
+
+// NewAdam returns Adam with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[string][]float32), v: make(map[string][]float32), t: make(map[string]int)}
+}
+
+// NewAdamW returns decoupled-weight-decay Adam.
+func NewAdamW(lr, weightDecay float64) *Adam {
+	a := NewAdam(lr)
+	a.WeightDecay = weightDecay
+	a.Decoupled = true
+	return a
+}
+
+// Step applies one bias-corrected Adam/AdamW update.
+func (a *Adam) Step(key string, params, grads []float32) {
+	checkLens(key, params, grads)
+	m, ok := a.m[key]
+	if !ok {
+		m = make([]float32, len(params))
+		v := make([]float32, len(params))
+		a.m[key], a.v[key] = m, v
+	}
+	v := a.v[key]
+	a.t[key]++
+	t := a.t[key]
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	c1 := 1 / (1 - float32(math.Pow(a.Beta1, float64(t))))
+	c2 := 1 / (1 - float32(math.Pow(a.Beta2, float64(t))))
+	lr := float32(a.LR)
+	eps := float32(a.Eps)
+	wd := float32(a.WeightDecay)
+	for i := range params {
+		g := grads[i]
+		if wd != 0 && !a.Decoupled {
+			g += wd * params[i]
+		}
+		m[i] = b1*m[i] + (1-b1)*g
+		v[i] = b2*v[i] + (1-b2)*g*g
+		mh := m[i] * c1
+		vh := v[i] * c2
+		upd := lr * mh / (float32(math.Sqrt(float64(vh))) + eps)
+		if wd != 0 && a.Decoupled {
+			upd += lr * wd * params[i]
+		}
+		params[i] -= upd
+	}
+}
+
+// StateBytesPerParam returns 8 (two fp32 moments) — the paper's os term.
+func (a *Adam) StateBytesPerParam() int { return 8 }
+
+// States returns the first and second moment vectors.
+func (a *Adam) States(key string) [][]float32 {
+	if m, ok := a.m[key]; ok {
+		return [][]float32{m, a.v[key]}
+	}
+	return nil
+}
+
+// StepCount returns the bias-correction clock for a key.
+func (a *Adam) StepCount(key string) int { return a.t[key] }
+
+// SetStepCount restores the bias-correction clock (checkpoint resume).
+func (a *Adam) SetStepCount(key string, t int) { a.t[key] = t }
+
+func checkLens(key string, params, grads []float32) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optim: %s params %d vs grads %d", key, len(params), len(grads)))
+	}
+}
+
+// LossScaler implements dynamic loss scaling for mixed precision
+// (Micikevicius et al.): the loss is multiplied by Scale before backward so
+// small gradients survive fp16; on overflow the step is skipped and the
+// scale halved; after GrowthInterval good steps the scale doubles.
+type LossScaler struct {
+	Scale          float64
+	GrowthInterval int
+	MaxScale       float64
+
+	goodSteps int
+	skipped   int
+}
+
+// NewLossScaler returns a scaler with the PyTorch-AMP-like defaults.
+func NewLossScaler() *LossScaler {
+	return &LossScaler{Scale: 65536, GrowthInterval: 2000, MaxScale: 1 << 24}
+}
+
+// Update records whether the step overflowed and adjusts the scale. It
+// returns true if the optimizer step should proceed (no overflow).
+func (ls *LossScaler) Update(overflowed bool) bool {
+	if overflowed {
+		ls.Scale = math.Max(1, ls.Scale/2)
+		ls.goodSteps = 0
+		ls.skipped++
+		return false
+	}
+	ls.goodSteps++
+	if ls.goodSteps >= ls.GrowthInterval && ls.Scale < ls.MaxScale {
+		ls.Scale *= 2
+		ls.goodSteps = 0
+	}
+	return true
+}
+
+// SkippedSteps returns how many steps were dropped due to overflow.
+func (ls *LossScaler) SkippedSteps() int { return ls.skipped }
+
+// Snapshot returns the scaler's full mutable state for checkpointing.
+func (ls *LossScaler) Snapshot() (scale float64, goodSteps, skipped int) {
+	return ls.Scale, ls.goodSteps, ls.skipped
+}
+
+// Restore reinstates a snapshot taken with Snapshot.
+func (ls *LossScaler) Restore(scale float64, goodSteps, skipped int) {
+	ls.Scale, ls.goodSteps, ls.skipped = scale, goodSteps, skipped
+}
+
+// ClipGradNorm scales grads so their global L2 norm is at most maxNorm,
+// returning the pre-clip norm (the paper's models all train with gradient
+// clipping, per Brown et al.'s hyperparameters).
+func ClipGradNorm(grads [][]float32, maxNorm float64) float64 {
+	var sq float64
+	for _, g := range grads {
+		for _, x := range g {
+			sq += float64(x) * float64(x)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		s := float32(maxNorm / norm)
+		for _, g := range grads {
+			for i := range g {
+				g[i] *= s
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,237 @@
+// Package simulate is the deterministic discrete-event performance simulator
+// standing in for the Summit runs of §V–VI. It executes AxoNN's pipelined
+// 1F1B schedule (the steady-state shape of AxoNN's message-driven scheduling)
+// over virtual GPUs, attributes every idle interval to either message
+// transmission or pipeline bubble, adds the data-parallel collective and the
+// SAMO overheads, and reports the same batch-time breakdown the paper's
+// Figure 8 plots.
+package simulate
+
+import "fmt"
+
+// PipelineSpec parameterizes one inter-layer-parallel pipeline.
+//
+// Transfers OCCUPY the sending GPU for XferTime (the paper's Figure 8
+// measures point-to-point communication as a non-overlapping phase via CUDA
+// events: on Summit the MPI p2p path keeps the GPU's stream busy for the
+// duration of the send, it does not disappear behind compute). The receiver
+// additionally stalls if the message has not arrived when it needs it.
+type PipelineSpec struct {
+	Stages       int     // Ginter
+	Microbatches int     // microbatches per batch per pipeline
+	FwdTime      float64 // forward compute per microbatch per stage (s)
+	BwdTime      float64 // backward compute per microbatch per stage (s)
+	XferTime     float64 // activation/gradient transfer between stages (s)
+}
+
+// StageBreakdown attributes one stage's wall-clock time.
+type StageBreakdown struct {
+	Compute float64 // executing forward/backward kernels
+	P2P     float64 // stalled on in-flight message transmission
+	Bubble  float64 // idle with no message in flight (pipeline bubble)
+}
+
+// PipelineResult is the outcome of simulating one batch through the pipeline.
+type PipelineResult struct {
+	Span   float64 // makespan: first op start to last op end
+	Stages []StageBreakdown
+	// Trace holds op start/end times when tracing was requested.
+	Trace []TraceOp
+}
+
+// TraceOp records one executed operation for schedule visualization (Fig. 3).
+type TraceOp struct {
+	Stage      int
+	Microbatch int
+	Backward   bool
+	Start, End float64
+}
+
+type opKind int
+
+const (
+	opF opKind = iota
+	opB
+)
+
+type op struct {
+	kind opKind
+	mb   int
+}
+
+// onefbOrder builds stage s's operation order under the 1F1B schedule:
+// min(S−1−s, M) warmup forwards, then strict forward/backward alternation,
+// then drain. This is the schedule AxoNN's message-driven scheduling
+// converges to in steady state (Narayanan et al.'s analysis, which the
+// paper's bubble formula eq. 7 assumes).
+func onefbOrder(s, stages, m int) []op {
+	w := stages - 1 - s
+	if w > m {
+		w = m
+	}
+	var ops []op
+	for i := 0; i < w; i++ {
+		ops = append(ops, op{opF, i})
+	}
+	for i := 0; i < m; i++ {
+		if w+i < m {
+			ops = append(ops, op{opF, w + i})
+		}
+		ops = append(ops, op{opB, i})
+	}
+	return ops
+}
+
+// SimulatePipeline runs the event-driven simulation. trace=true additionally
+// records every op for visualization.
+func SimulatePipeline(spec PipelineSpec, trace bool) PipelineResult {
+	s, m := spec.Stages, spec.Microbatches
+	if s < 1 || m < 1 {
+		panic(fmt.Sprintf("simulate: bad pipeline %d stages, %d microbatches", s, m))
+	}
+	orders := make([][]op, s)
+	for st := 0; st < s; st++ {
+		orders[st] = onefbOrder(st, s, m)
+	}
+	ptr := make([]int, s)
+	free := make([]float64, s)
+	fDone := make([][]float64, s) // forward completion times
+	bDone := make([][]float64, s)
+	for st := 0; st < s; st++ {
+		fDone[st] = make([]float64, m)
+		bDone[st] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			fDone[st][i] = -1
+			bDone[st][i] = -1
+		}
+	}
+	res := PipelineResult{Stages: make([]StageBreakdown, s)}
+	remaining := 0
+	for st := 0; st < s; st++ {
+		remaining += len(orders[st])
+	}
+
+	// ready returns (arrivalTime, wireTime, ok): when the op's input message
+	// is fully received, how much of the wait window is wire time, and
+	// whether the producer has executed. fDone/bDone already include the
+	// producer's blocking send, so arrival is simply the recorded time.
+	ready := func(st int, o op) (float64, float64, bool) {
+		switch o.kind {
+		case opF:
+			if st == 0 {
+				return 0, 0, true // input batch resident from t=0
+			}
+			p := fDone[st-1][o.mb]
+			if p < 0 {
+				return 0, 0, false
+			}
+			return p, spec.XferTime, true
+		default:
+			if st == s-1 {
+				p := fDone[st][o.mb] // loss computed locally, no transfer
+				if p < 0 {
+					return 0, 0, false
+				}
+				return p, 0, true
+			}
+			p := bDone[st+1][o.mb]
+			if p < 0 {
+				return 0, 0, false
+			}
+			return p, spec.XferTime, true
+		}
+	}
+
+	for remaining > 0 {
+		// Pick the executable op with the earliest start time.
+		best := -1
+		var bestStart, bestWire float64
+		for st := 0; st < s; st++ {
+			if ptr[st] >= len(orders[st]) {
+				continue
+			}
+			r, wire, ok := ready(st, orders[st][ptr[st]])
+			if !ok {
+				continue
+			}
+			start := free[st]
+			if r > start {
+				start = r
+			}
+			if best == -1 || start < bestStart || (start == bestStart && st < best) {
+				best, bestStart, bestWire = st, start, wire
+			}
+		}
+		if best == -1 {
+			panic("simulate: pipeline deadlock (schedule inconsistent with dependencies)")
+		}
+		st := best
+		o := orders[st][ptr[st]]
+		ptr[st]++
+		remaining--
+
+		// Attribute the idle gap before this op: up to one wire time of the
+		// wait is P2P stall (the message was in flight); any remainder —
+		// waiting for the producer itself to run — is pipeline bubble
+		// (§IV-B's definition: not enough microbatches to stay busy).
+		if gap := bestStart - free[st]; gap > 0 {
+			p2p := bestWire
+			if p2p > gap {
+				p2p = gap
+			}
+			res.Stages[st].P2P += p2p
+			res.Stages[st].Bubble += gap - p2p
+		}
+		dur := spec.FwdTime
+		if o.kind == opB {
+			dur = spec.BwdTime
+		}
+		end := bestStart + dur
+		res.Stages[st].Compute += dur
+		if trace {
+			res.Trace = append(res.Trace, TraceOp{
+				Stage: st, Microbatch: o.mb, Backward: o.kind == opB,
+				Start: bestStart, End: end,
+			})
+		}
+		// Blocking send to the downstream consumer (forward to st+1,
+		// backward to st−1): the GPU's stream is busy for the transfer.
+		done := end
+		sends := (o.kind == opF && st < s-1) || (o.kind == opB && st > 0)
+		if sends {
+			done = end + spec.XferTime
+			res.Stages[st].P2P += spec.XferTime
+		}
+		free[st] = done
+		if o.kind == opF {
+			fDone[st][o.mb] = done
+		} else {
+			bDone[st][o.mb] = done
+		}
+		if done > res.Span {
+			res.Span = done
+		}
+	}
+
+	// Trailing idle: stages that finish before the makespan sit in bubble
+	// (the end-of-batch bubble of Figure 3).
+	for st := 0; st < s; st++ {
+		if idle := res.Span - free[st]; idle > 0 {
+			res.Stages[st].Bubble += idle
+		}
+	}
+	return res
+}
+
+// AnalyticBubble returns eq. 7's closed-form bubble time:
+// (tf+tb)·(1 − 1/Ginter), with tf, tb the whole-model per-microbatch times.
+func AnalyticBubble(tfModel, tbModel float64, ginter int) float64 {
+	return (tfModel + tbModel) * (1 - 1/float64(ginter))
+}
+
+// AnalyticSendCount returns eq. 9's per-GPU message count:
+// 4·B/(mbs·Gdata) (two sends and two receives per microbatch; counting
+// boundary stages costs half, which the proportionality absorbs).
+func AnalyticSendCount(batch, mbs, gdata int) int {
+	return 4 * batch / (mbs * gdata)
+}

@@ -1,0 +1,193 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneFBOrderStructure(t *testing.T) {
+	for _, tc := range []struct{ s, stages, m int }{
+		{0, 4, 8}, {3, 4, 8}, {0, 3, 5}, {2, 3, 5}, {0, 8, 2}, {7, 8, 2}, {0, 1, 4},
+	} {
+		ops := onefbOrder(tc.s, tc.stages, tc.m)
+		if len(ops) != 2*tc.m {
+			t.Fatalf("stage %d/%d M=%d: %d ops, want %d", tc.s, tc.stages, tc.m, len(ops), 2*tc.m)
+		}
+		// Forward m must precede backward m; each appears exactly once.
+		seenF := map[int]int{}
+		seenB := map[int]int{}
+		for i, o := range ops {
+			if o.kind == opF {
+				seenF[o.mb] = i
+			} else {
+				seenB[o.mb] = i
+			}
+		}
+		for mb := 0; mb < tc.m; mb++ {
+			fi, fok := seenF[mb]
+			bi, bok := seenB[mb]
+			if !fok || !bok {
+				t.Fatalf("stage %d: microbatch %d missing ops", tc.s, mb)
+			}
+			if fi >= bi {
+				t.Fatalf("stage %d: F%d after B%d", tc.s, mb, mb)
+			}
+		}
+		// Backwards drain in order (1F1B invariant).
+		last := -1
+		for _, o := range ops {
+			if o.kind == opB {
+				if o.mb != last+1 {
+					t.Fatalf("stage %d: backwards out of order", tc.s)
+				}
+				last = o.mb
+			}
+		}
+	}
+}
+
+func TestSingleStagePipeline(t *testing.T) {
+	r := SimulatePipeline(PipelineSpec{Stages: 1, Microbatches: 5, FwdTime: 1, BwdTime: 2, XferTime: 9}, false)
+	if r.Span != 15 {
+		t.Errorf("span = %g, want 15 (no transfers on one stage)", r.Span)
+	}
+	if r.Stages[0].P2P != 0 || r.Stages[0].Bubble != 0 {
+		t.Errorf("single stage must have no p2p/bubble: %+v", r.Stages[0])
+	}
+}
+
+func TestFigure3Schedule(t *testing.T) {
+	// The paper's Figure 3: Ginter=3, 5 microbatches, forward 1 unit,
+	// backward 2 units, instantaneous transfers. Every GPU's bubble is 6
+	// units = (Ginter−1)·(tf+tb), and the makespan is 21.
+	r := SimulatePipeline(PipelineSpec{Stages: 3, Microbatches: 5, FwdTime: 1, BwdTime: 2}, true)
+	if r.Span != 21 {
+		t.Errorf("span = %g, want 21", r.Span)
+	}
+	for s, sb := range r.Stages {
+		if math.Abs(sb.Bubble-6) > 1e-9 {
+			t.Errorf("stage %d bubble = %g, want 6", s, sb.Bubble)
+		}
+		if math.Abs(sb.Compute-15) > 1e-9 {
+			t.Errorf("stage %d compute = %g, want 15", s, sb.Compute)
+		}
+		if sb.P2P != 0 {
+			t.Errorf("stage %d p2p = %g, want 0 with zero transfer time", s, sb.P2P)
+		}
+	}
+	if len(r.Trace) != 2*3*5 {
+		t.Errorf("trace has %d ops, want 30", len(r.Trace))
+	}
+}
+
+func TestBubbleMatchesAnalyticZeroXfer(t *testing.T) {
+	// With free transfers and M ≥ S, the simulated bubble equals eq. 7:
+	// (S−1)·(f+b) per stage, i.e. (tf+tb)(1−1/Ginter) in whole-model terms.
+	for _, s := range []int{2, 3, 4, 8} {
+		for _, m := range []int{8, 16, 32} {
+			if m < s {
+				continue
+			}
+			f, b := 0.4, 0.8
+			r := SimulatePipeline(PipelineSpec{Stages: s, Microbatches: m, FwdTime: f, BwdTime: b}, false)
+			want := AnalyticBubble(float64(s)*f, float64(s)*b, s)
+			for st := 0; st < s; st++ {
+				if math.Abs(r.Stages[st].Bubble-want) > 1e-6 {
+					t.Errorf("S=%d M=%d stage %d: bubble %g, want %g", s, m, st, r.Stages[st].Bubble, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBubbleMonotoneInStages(t *testing.T) {
+	// Eq. 8: ∂tbubble/∂Ginter > 0 — more stages, more bubble (fixed
+	// whole-model compute per microbatch).
+	tfModel, tbModel := 1.0, 2.0
+	prev := -1.0
+	for _, s := range []int{2, 4, 8, 16} {
+		r := SimulatePipeline(PipelineSpec{
+			Stages: s, Microbatches: 32,
+			FwdTime: tfModel / float64(s), BwdTime: tbModel / float64(s),
+		}, false)
+		if r.Stages[0].Bubble <= prev {
+			t.Errorf("bubble not increasing at S=%d: %g <= %g", s, r.Stages[0].Bubble, prev)
+		}
+		prev = r.Stages[0].Bubble
+	}
+}
+
+func TestTransferTimeShowsUpAsP2P(t *testing.T) {
+	none := SimulatePipeline(PipelineSpec{Stages: 4, Microbatches: 8, FwdTime: 1, BwdTime: 2}, false)
+	wire := SimulatePipeline(PipelineSpec{Stages: 4, Microbatches: 8, FwdTime: 1, BwdTime: 2, XferTime: 0.5}, false)
+	if wire.Span <= none.Span {
+		t.Error("transfers must lengthen the batch")
+	}
+	for st := 0; st < 4; st++ {
+		if wire.Stages[st].P2P <= 0 {
+			t.Errorf("stage %d shows no p2p time", st)
+		}
+		// Compute time itself is unchanged.
+		if wire.Stages[st].Compute != none.Stages[st].Compute {
+			t.Errorf("stage %d compute changed with transfers", st)
+		}
+	}
+	// Middle stages send in both directions; they bear at least the edge
+	// stages' send load.
+	if wire.Stages[1].P2P < wire.Stages[0].P2P-1e-9 {
+		t.Error("middle stage should carry at least edge-stage p2p")
+	}
+}
+
+func TestPipelineConservationProperty(t *testing.T) {
+	// For any configuration: per-stage compute+p2p+bubble + lead-in time
+	// equals the span; compute is exactly M·(f+b).
+	f := func(s8, m8 uint8, fq, bq uint8) bool {
+		s := int(s8%6) + 1
+		m := int(m8%10) + 1
+		fd := 0.1 + float64(fq%20)/10
+		bd := 0.1 + float64(bq%20)/10
+		xfer := 0.05
+		r := SimulatePipeline(PipelineSpec{Stages: s, Microbatches: m, FwdTime: fd, BwdTime: bd, XferTime: xfer}, false)
+		for st := 0; st < s; st++ {
+			sb := r.Stages[st]
+			if math.Abs(sb.Compute-float64(m)*(fd+bd)) > 1e-6 {
+				return false
+			}
+			// Busy + idle can't exceed the span.
+			if sb.Compute+sb.P2P+sb.Bubble > r.Span+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticSendCount(t *testing.T) {
+	// Eq. 9: 4·B/(mbs·Gdata).
+	if got := AnalyticSendCount(512, 1, 64); got != 32 {
+		t.Errorf("send count %d, want 32", got)
+	}
+	// Eq. 11: decreasing Gdata (increasing Ginter at fixed G) increases it.
+	if AnalyticSendCount(512, 1, 32) <= AnalyticSendCount(512, 1, 64) {
+		t.Error("send count must grow as Gdata shrinks")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := PipelineSpec{Stages: 5, Microbatches: 7, FwdTime: 0.3, BwdTime: 0.7, XferTime: 0.1}
+	a := SimulatePipeline(spec, false)
+	b := SimulatePipeline(spec, false)
+	if a.Span != b.Span {
+		t.Error("simulation must be deterministic")
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			t.Error("per-stage breakdown must be deterministic")
+		}
+	}
+}

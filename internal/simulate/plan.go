@@ -1,0 +1,158 @@
+package simulate
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/core"
+	"github.com/sparse-dl/samo/internal/hw"
+)
+
+// Method identifies a parallel-training framework configuration.
+type Method int
+
+// The four systems compared in Figures 5–8 and Table II.
+const (
+	MethodAxoNN Method = iota
+	MethodSAMO
+	MethodDeepSpeed3D
+	MethodSputnik
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAxoNN:
+		return "AxoNN"
+	case MethodSAMO:
+		return "AxoNN+SAMO"
+	case MethodDeepSpeed3D:
+		return "DeepSpeed-3D"
+	default:
+		return "Sputnik"
+	}
+}
+
+// Plan is a feasible device configuration: G = Gintra × Ginter × Gdata
+// (Gintra is 1 except for DeepSpeed-3D's intra-layer parallelism).
+type Plan struct {
+	Feasible bool
+	Ginter   int
+	Gdata    int
+	Gintra   int
+	MBS      int // microbatch size (samples)
+	Micro    int // microbatches per pipeline per batch
+
+	StateBytesPerGPU int64
+	ActBytesPerGPU   int64
+	TotalPerGPU      int64
+}
+
+// frameworkReserve approximates CUDA context + NCCL buffers + allocator
+// fragmentation, memory the model-state ledger does not see.
+const frameworkReserve = int64(3) << 29 // 1.5 GiB
+
+// ModelStateBytes returns the total (cluster-wide, before division by
+// Ginter·Gintra) model-state footprint of each method at the given pruned
+// fraction. ZeRO's optimizer-state sharding for DeepSpeed-3D is applied in
+// the planner because it depends on Gdata.
+func ModelStateBytes(method Method, phi int64, sparsity float64) int64 {
+	f := 1 - sparsity
+	switch method {
+	case MethodSAMO:
+		return core.SAMOModelStateBytes(phi, sparsity)
+	case MethodSputnik:
+		// Sputnik swaps the compute kernels: weights and gradients become
+		// sparse (fp16 values 2fφ each + shared int32 metadata 4fφ), but
+		// the optimizer path is untouched — θ32 and the Adam moments stay
+		// dense (12φ). Memory sits between dense AxoNN and SAMO.
+		return int64((2+2+4)*f*float64(phi)) + 12*phi
+	default:
+		return core.DefaultModelStateBytes(phi)
+	}
+}
+
+// activationBytes estimates per-GPU activation memory for a pipeline stage:
+// checkpointed layer-boundary activations for every in-flight microbatch
+// plus the transient working set of one recomputed layer (attention scores
+// included — no flash attention on V100s).
+func activationBytes(j Job, ginter, gintra, mbs, micro int) int64 {
+	inflight := ginter
+	if micro < inflight {
+		inflight = micro
+	}
+	if j.Kind == KindCNN {
+		// Pure data parallelism in practice; per-sample activation storage
+		// with checkpointing ≈ 48 MB at 224².
+		return int64(mbs) * 48 << 20
+	}
+	// Per-layer activation checkpoints (Megatron-style: each transformer
+	// layer's fp16 input is stored) for every in-flight microbatch, plus the
+	// transient working set while one layer is recomputed during backward
+	// (MLP intermediates 34·b·s·h bytes and the two attention score
+	// matrices 2·a·s²·b — V100s predate flash attention).
+	layersPerStage := (j.NumLayers + ginter - 1) / ginter
+	boundary := int64(2*mbs*j.Seq*j.Hidden) * int64(layersPerStage) * int64(inflight)
+	transient := int64(34*mbs*j.Seq*j.Hidden) + int64(2*mbs*j.Heads*j.Seq*j.Seq)
+	return (boundary + transient) / int64(gintra)
+}
+
+// PlanConfig chooses the smallest Ginter (and for DeepSpeed-3D, Gintra)
+// whose per-GPU footprint fits the machine — AxoNN's planning rule, and the
+// mechanism by which SAMO's memory savings become communication savings:
+// smaller state → smaller Ginter → larger Gdata (§IV-B).
+func PlanConfig(method Method, j Job, m hw.Machine, gpus int, sparsity float64) Plan {
+	if gpus < 1 {
+		panic(fmt.Sprintf("simulate: %d GPUs", gpus))
+	}
+	capacity := m.MemoryBytes - frameworkReserve
+	state := ModelStateBytes(method, j.Phi, sparsity)
+
+	gintras := []int{1}
+	if method == MethodDeepSpeed3D {
+		gintras = []int{1, 2, 3, 6} // Megatron tensor parallelism within a node
+	}
+	for _, gintra := range gintras {
+		if gpus%gintra != 0 {
+			continue
+		}
+		for ginter := 1; ginter <= gpus/gintra; ginter *= 2 {
+			if ginter > j.NumLayers {
+				break
+			}
+			gdata := gpus / (gintra * ginter)
+			if gdata < 1 || j.Batch < gdata {
+				continue
+			}
+			mbs := 1
+			if j.Kind == KindCNN {
+				mbs = j.Batch / gdata
+				if mbs > 8 {
+					mbs = 8
+				}
+				if mbs < 1 {
+					mbs = 1
+				}
+			}
+			micro := j.Batch / (gdata * mbs)
+			if micro < 1 {
+				continue
+			}
+			perState := state / int64(ginter*gintra)
+			if method == MethodDeepSpeed3D {
+				// ZeRO-1: optimizer states (8φ of the 20φ) shard further
+				// across the data-parallel group.
+				perState = (12*j.Phi)/int64(ginter*gintra) +
+					(8*j.Phi)/int64(ginter*gintra*gdata)
+			}
+			act := activationBytes(j, ginter, gintra, mbs, micro)
+			total := perState + act
+			if total <= capacity {
+				return Plan{
+					Feasible: true, Ginter: ginter, Gdata: gdata, Gintra: gintra,
+					MBS: mbs, Micro: micro,
+					StateBytesPerGPU: perState, ActBytesPerGPU: act, TotalPerGPU: total,
+				}
+			}
+		}
+	}
+	return Plan{}
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix. It backs the Sputnik-style sparse
+// compute baseline: the paper integrates Sputnik's spMM/SDDMM into AxoNN to
+// show that computing sparse is slower than computing dense at DL sparsities,
+// which is precisely why SAMO compresses *storage* but not *compute*.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// CSRFromDense builds a CSR matrix from a dense (rows, cols) tensor,
+// dropping exact zeros.
+func CSRFromDense(t *tensor.Tensor) *CSR {
+	if t.Rank() != 2 {
+		panic("sparse: CSRFromDense requires rank 2")
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	d := t.Data()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := d[i*cols+j]; v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// CSRFromIndex builds a CSR matrix over a rows×cols view from a shared
+// linearized index and the matching compressed values.
+func CSRFromIndex(ix *Index, values []float32, rows, cols int) *CSR {
+	if rows*cols != ix.FullLen() {
+		panic(fmt.Sprintf("sparse: CSRFromIndex %dx%d != %d", rows, cols, ix.FullLen()))
+	}
+	if len(values) != ix.NNZ() {
+		panic("sparse: CSRFromIndex values length mismatch")
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, ix.NNZ()), Val: append([]float32(nil), values...)}
+	for i, id := range ix.IDs() {
+		m.ColIdx[i] = id % int32(cols)
+		m.RowPtr[id/int32(cols)+1]++
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Bytes returns the storage footprint (values + column indices + row
+// pointers).
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.Val))*4 + int64(len(m.ColIdx))*4 + int64(len(m.RowPtr))*4
+}
+
+// Dense materializes the matrix as a dense tensor.
+func (m *CSR) Dense() *tensor.Tensor {
+	t := tensor.New(m.Rows, m.Cols)
+	d := t.Data()
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			d[i*m.Cols+int(m.ColIdx[p])] = m.Val[p]
+		}
+	}
+	return t
+}
+
+// SpMM computes C = S·B for sparse S (m,k) and dense B (k,n) — the kernel a
+// fully connected layer's forward pass would use under sparse compute
+// (weights sparse, activations dense).
+func (m *CSR) SpMM(b *tensor.Tensor) *tensor.Tensor {
+	if b.Rank() != 2 || b.Dim(0) != m.Cols {
+		panic(fmt.Sprintf("sparse: SpMM dims (%d,%d)x%v", m.Rows, m.Cols, b.Shape()))
+	}
+	n := b.Dim(1)
+	c := tensor.New(m.Rows, n)
+	bd, cd := b.Data(), c.Data()
+	for i := 0; i < m.Rows; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Val[p]
+			bk := bd[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
+			for j := range bk {
+				ci[j] += v * bk[j]
+			}
+		}
+	}
+	return c
+}
+
+// SDDMM computes the sampled dense-dense matrix multiplication
+// out[i,j] = (A·Bᵀ)[i,j] for (i,j) in the sparsity pattern of m, with A
+// (rows,k) and B (cols,k). This is the kernel the backward pass of a sparse
+// FC layer needs (weight-gradient restricted to the unpruned pattern).
+func (m *CSR) SDDMM(a, b *tensor.Tensor) *CSR {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != m.Rows || b.Dim(0) != m.Cols || a.Dim(1) != b.Dim(1) {
+		panic("sparse: SDDMM shape mismatch")
+	}
+	k := a.Dim(1)
+	out := &CSR{Rows: m.Rows, Cols: m.Cols,
+		RowPtr: append([]int32(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    make([]float32, len(m.Val))}
+	ad, bd := a.Data(), b.Data()
+	for i := 0; i < m.Rows; i++ {
+		ai := ad[i*k : (i+1)*k]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			bj := bd[int(m.ColIdx[p])*k : int(m.ColIdx[p])*k+k]
+			var s float32
+			for x := range ai {
+				s += ai[x] * bj[x]
+			}
+			out.Val[p] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns the CSC-equivalent CSR of the transposed matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows,
+		RowPtr: make([]int32, m.Cols+1),
+		ColIdx: make([]int32, len(m.Val)),
+		Val:    make([]float32, len(m.Val))}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int32(nil), t.RowPtr...)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			t.ColIdx[next[c]] = int32(i)
+			t.Val[next[c]] = m.Val[p]
+			next[c]++
+		}
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/fp16"
+)
+
+// Index is the shared, linearized non-zero index tensor of one layer
+// (Section III-B). Two design decisions from the paper are load-bearing and
+// reproduced exactly:
+//
+//  1. All compressed model states of a layer (θ32, ∇θ16, ∇θ32, os) share ONE
+//     Index — storing it once instead of four times is what keeps the index
+//     overhead at 4fφ bytes rather than 16fφ.
+//  2. Indices address a hypothetical one-dimensional view of the state
+//     tensor, so an N-dimensional tensor needs one int32 per non-zero instead
+//     of N — an N× saving.
+type Index struct {
+	ids  []int32 // sorted ascending, unique
+	full int     // number of elements in the uncompressed 1-D view
+}
+
+// NewIndex builds an Index from a mask.
+func NewIndex(m *Mask) *Index {
+	return &Index{ids: m.Indices(), full: m.Len()}
+}
+
+// IndexFromSlice builds an Index directly from sorted unique linearized ids.
+func IndexFromSlice(ids []int32, full int) *Index {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			panic("sparse: index ids must be sorted and unique")
+		}
+	}
+	if len(ids) > 0 && (ids[0] < 0 || int(ids[len(ids)-1]) >= full) {
+		panic(fmt.Sprintf("sparse: index ids out of range [0,%d)", full))
+	}
+	return &Index{ids: append([]int32(nil), ids...), full: full}
+}
+
+// NNZ returns the number of unpruned (stored) elements.
+func (ix *Index) NNZ() int { return len(ix.ids) }
+
+// FullLen returns the length of the uncompressed 1-D view.
+func (ix *Index) FullLen() int { return ix.full }
+
+// IDs returns the underlying index slice (not to be modified).
+func (ix *Index) IDs() []int32 { return ix.ids }
+
+// Bytes returns the memory footprint of the index itself: 4 bytes per
+// non-zero (the 4fφ term of the paper's memory model).
+func (ix *Index) Bytes() int64 { return int64(len(ix.ids)) * 4 }
+
+// Compress gathers the unpruned elements of a dense 1-D view into dst,
+// which must have NNZ capacity. This is the operation applied to gradients
+// at layer granularity during the backward pass.
+func (ix *Index) Compress(dst, dense []float32) {
+	if len(dense) != ix.full {
+		panic(fmt.Sprintf("sparse: Compress dense length %d, want %d", len(dense), ix.full))
+	}
+	if len(dst) != len(ix.ids) {
+		panic(fmt.Sprintf("sparse: Compress dst length %d, want %d", len(dst), len(ix.ids)))
+	}
+	for i, id := range ix.ids {
+		dst[i] = dense[id]
+	}
+}
+
+// Expand scatters compressed values back into a dense 1-D view, filling
+// pruned positions with zero — the paper's "expansion" operation, the
+// inverse of compression, used in the optimizer's down-cast step.
+func (ix *Index) Expand(dense, compressed []float32) {
+	if len(dense) != ix.full {
+		panic(fmt.Sprintf("sparse: Expand dense length %d, want %d", len(dense), ix.full))
+	}
+	if len(compressed) != len(ix.ids) {
+		panic(fmt.Sprintf("sparse: Expand compressed length %d, want %d", len(compressed), len(ix.ids)))
+	}
+	for i := range dense {
+		dense[i] = 0
+	}
+	for i, id := range ix.ids {
+		dense[id] = compressed[i]
+	}
+}
+
+// CompressHalf gathers unpruned elements of a dense half-precision view.
+func (ix *Index) CompressHalf(dst, dense []fp16.Bits) {
+	if len(dense) != ix.full || len(dst) != len(ix.ids) {
+		panic("sparse: CompressHalf size mismatch")
+	}
+	for i, id := range ix.ids {
+		dst[i] = dense[id]
+	}
+}
+
+// ExpandHalf scatters compressed half-precision values into a dense view.
+func (ix *Index) ExpandHalf(dense, compressed []fp16.Bits) {
+	if len(dense) != ix.full || len(compressed) != len(ix.ids) {
+		panic("sparse: ExpandHalf size mismatch")
+	}
+	for i := range dense {
+		dense[i] = 0
+	}
+	for i, id := range ix.ids {
+		dense[id] = compressed[i]
+	}
+}
+
+// Mask reconstructs the boolean mask this index describes.
+func (ix *Index) Mask() *Mask {
+	return FromIndices(ix.full, ix.ids)
+}
+
+// Coords2D converts the linearized ids back to (row, col) coordinates of a
+// rows×cols matrix view — needed when building CSR matrices for sparse
+// compute baselines. It is the inverse of the 1-D linearization and exists
+// to demonstrate (and test) that linearization loses no information.
+func (ix *Index) Coords2D(rows, cols int) (r, c []int32) {
+	if rows*cols != ix.full {
+		panic(fmt.Sprintf("sparse: Coords2D %dx%d != %d", rows, cols, ix.full))
+	}
+	r = make([]int32, len(ix.ids))
+	c = make([]int32, len(ix.ids))
+	for i, id := range ix.ids {
+		r[i] = id / int32(cols)
+		c[i] = id % int32(cols)
+	}
+	return r, c
+}

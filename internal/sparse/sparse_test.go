@@ -1,0 +1,296 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sparse-dl/samo/internal/fp16"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if m.Count() != 0 || m.Sparsity() != 1 {
+		t.Fatal("fresh mask should be all pruned")
+	}
+	m.Set(0)
+	m.Set(64)
+	m.Set(129)
+	if m.Count() != 3 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if !m.Get(64) || m.Get(63) {
+		t.Error("Get wrong")
+	}
+	m.Clear(64)
+	if m.Get(64) || m.Count() != 2 {
+		t.Error("Clear wrong")
+	}
+	idx := m.Indices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 129 {
+		t.Errorf("Indices = %v", idx)
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		m := FullMask(n)
+		if m.Count() != n {
+			t.Errorf("FullMask(%d).Count() = %d", n, m.Count())
+		}
+		if n > 0 && m.Sparsity() != 0 {
+			t.Errorf("FullMask(%d) sparsity %g", n, m.Sparsity())
+		}
+	}
+}
+
+func TestMaskApply(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	m := FromIndices(4, []int32{1, 3})
+	m.Apply(data)
+	want := []float32{0, 2, 0, 4}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("Apply: %v", data)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromIndices(100, []int32{1, 2, 3})
+	b := FromIndices(100, []int32{2, 3, 4})
+	if d := HammingDistance(a, b); d != 0.02 {
+		t.Errorf("HammingDistance = %g, want 0.02", d)
+	}
+	if HammingDistance(a, a.Clone()) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestIndexRoundTripProperty(t *testing.T) {
+	// expand(compress(x)) == mask(x) for any dense vector and mask.
+	f := func(vals []float32, seed uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		rng := tensor.NewRNG(seed)
+		m := NewMask(len(vals))
+		for i := range vals {
+			if rng.Float32() < 0.3 {
+				m.Set(i)
+			}
+		}
+		ix := NewIndex(m)
+		comp := make([]float32, ix.NNZ())
+		ix.Compress(comp, vals)
+		dense := make([]float32, len(vals))
+		ix.Expand(dense, comp)
+		for i, v := range vals {
+			want := float32(0)
+			if m.Get(i) {
+				want = v
+			}
+			if dense[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressExpandIdentityOnSupport(t *testing.T) {
+	// compress(expand(c)) == c exactly, for any compressed vector.
+	ix := IndexFromSlice([]int32{0, 3, 7, 8}, 10)
+	c := []float32{1.5, -2, 3, 4}
+	dense := make([]float32, 10)
+	ix.Expand(dense, c)
+	back := make([]float32, 4)
+	ix.Compress(back, dense)
+	for i := range c {
+		if back[i] != c[i] {
+			t.Fatalf("round trip: %v", back)
+		}
+	}
+}
+
+func TestIndexHalfPath(t *testing.T) {
+	ix := IndexFromSlice([]int32{1, 2, 5}, 6)
+	dense := make([]fp16.Bits, 6)
+	for i := range dense {
+		dense[i] = fp16.FromFloat32(float32(i + 1))
+	}
+	comp := make([]fp16.Bits, 3)
+	ix.CompressHalf(comp, dense)
+	out := make([]fp16.Bits, 6)
+	ix.ExpandHalf(out, comp)
+	for i := range out {
+		want := float32(0)
+		if i == 1 || i == 2 || i == 5 {
+			want = float32(i + 1)
+		}
+		if fp16.ToFloat32(out[i]) != want {
+			t.Fatalf("half path: idx %d = %g want %g", i, fp16.ToFloat32(out[i]), want)
+		}
+	}
+}
+
+func TestIndexBytes(t *testing.T) {
+	ix := IndexFromSlice([]int32{0, 5, 9}, 10)
+	if ix.Bytes() != 12 {
+		t.Errorf("Bytes = %d, want 12", ix.Bytes())
+	}
+}
+
+func TestCoords2DInverseOfLinearization(t *testing.T) {
+	// The paper's example: non-zeros of a 2x2 tensor at [(0,0),(1,1)] are
+	// linearized to [0,3].
+	ix := IndexFromSlice([]int32{0, 3}, 4)
+	r, c := ix.Coords2D(2, 2)
+	if r[0] != 0 || c[0] != 0 || r[1] != 1 || c[1] != 1 {
+		t.Errorf("Coords2D: r=%v c=%v", r, c)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	for _, bad := range [][]int32{{3, 2}, {1, 1}, {-1}, {10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IndexFromSlice(%v) should panic", bad)
+				}
+			}()
+			IndexFromSlice(bad, 10)
+		}()
+	}
+}
+
+func randSparseTensor(rows, cols int, sparsity float64, seed uint64) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	rng := tensor.NewRNG(seed)
+	for i := range t.Data() {
+		if rng.Float64() >= sparsity {
+			t.Data()[i] = float32(rng.Norm())
+		}
+	}
+	return t
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	a := randSparseTensor(13, 17, 0.9, 1)
+	m := CSRFromDense(a)
+	if d := tensor.MaxAbsDiff(m.Dense(), a); d != 0 {
+		t.Errorf("CSR round trip diff %g", d)
+	}
+}
+
+func TestSpMMEqualsDenseMatMul(t *testing.T) {
+	// CSR spMM must equal dense GEMM on the same (zero-filled) matrix —
+	// the correctness condition behind Figure 1's apples-to-apples timing.
+	a := randSparseTensor(24, 31, 0.85, 2)
+	b := tensor.New(31, 9)
+	tensor.FillNormal(b, 1, tensor.NewRNG(3))
+	got := CSRFromDense(a).SpMM(b)
+	want := tensor.MatMul(a, b)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Errorf("SpMM diff %g", d)
+	}
+}
+
+func TestSDDMMEqualsMaskedDense(t *testing.T) {
+	pattern := randSparseTensor(12, 10, 0.8, 4)
+	m := CSRFromDense(pattern)
+	a := tensor.New(12, 6)
+	b := tensor.New(10, 6)
+	tensor.FillNormal(a, 1, tensor.NewRNG(5))
+	tensor.FillNormal(b, 1, tensor.NewRNG(6))
+	got := m.SDDMM(a, b).Dense()
+	full := tensor.MatMulT(a, b)
+	// Mask the dense product to the pattern.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			if pattern.At(i, j) == 0 {
+				full.Set(0, i, j)
+			}
+		}
+	}
+	if d := tensor.MaxAbsDiff(got, full); d > 1e-4 {
+		t.Errorf("SDDMM diff %g", d)
+	}
+}
+
+func TestCSRFromIndexMatchesFromDense(t *testing.T) {
+	a := randSparseTensor(8, 6, 0.7, 7)
+	mask := NewMask(48)
+	for i, v := range a.Data() {
+		if v != 0 {
+			mask.Set(i)
+		}
+	}
+	ix := NewIndex(mask)
+	vals := make([]float32, ix.NNZ())
+	ix.Compress(vals, a.Data())
+	m1 := CSRFromIndex(ix, vals, 8, 6)
+	m2 := CSRFromDense(a)
+	if d := tensor.MaxAbsDiff(m1.Dense(), m2.Dense()); d != 0 {
+		t.Errorf("CSRFromIndex mismatch %g", d)
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	a := randSparseTensor(9, 14, 0.8, 8)
+	got := CSRFromDense(a).Transpose().Dense()
+	want := tensor.Transpose(a)
+	if d := tensor.MaxAbsDiff(got, want); d != 0 {
+		t.Errorf("Transpose diff %g", d)
+	}
+}
+
+func TestCSRBytesAccounting(t *testing.T) {
+	a := randSparseTensor(10, 10, 0.9, 9)
+	m := CSRFromDense(a)
+	want := int64(m.NNZ()*8 + 11*4)
+	if m.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", m.Bytes(), want)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	n := 1 << 16
+	m := NewMask(n)
+	rng := tensor.NewRNG(1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			m.Set(i)
+		}
+	}
+	ix := NewIndex(m)
+	dense := make([]float32, n)
+	comp := make([]float32, ix.NNZ())
+	b.SetBytes(int64(ix.NNZ() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Compress(comp, dense)
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	n := 1 << 16
+	m := NewMask(n)
+	rng := tensor.NewRNG(1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			m.Set(i)
+		}
+	}
+	ix := NewIndex(m)
+	dense := make([]float32, n)
+	comp := make([]float32, ix.NNZ())
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Expand(dense, comp)
+	}
+}

@@ -1,0 +1,157 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution: kernel size, stride and padding are
+// symmetric in height and width (all the VGG/WideResNet layers used in the
+// paper are square). Layout is NCHW.
+type ConvSpec struct {
+	InC, OutC int
+	Kernel    int
+	Stride    int
+	Pad       int
+	InH, InW  int
+}
+
+// OutH returns the output height.
+func (s ConvSpec) OutH() int { return (s.InH+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// OutW returns the output width.
+func (s ConvSpec) OutW() int { return (s.InW+2*s.Pad-s.Kernel)/s.Stride + 1 }
+
+// Im2Col lowers an NCHW input (n, inC, inH, inW) to a matrix of shape
+// (n·outH·outW, inC·k·k) so convolution becomes a single dense GEMM against
+// the (inC·k·k, outC) weight matrix — the standard cuDNN-style lowering that
+// lets the forward pass reuse the dense kernel SAMO depends on.
+func Im2Col(in *Tensor, s ConvSpec) *Tensor {
+	if in.Rank() != 4 {
+		panic("tensor: Im2Col requires NCHW rank-4 input")
+	}
+	n := in.shape[0]
+	if in.shape[1] != s.InC || in.shape[2] != s.InH || in.shape[3] != s.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match spec %+v", in.shape, s))
+	}
+	oh, ow := s.OutH(), s.OutW()
+	k := s.Kernel
+	cols := New(n*oh*ow, s.InC*k*k)
+	src := in.data
+	dst := cols.data
+	rowLen := s.InC * k * k
+	parallelFor(n*oh*ow, 64, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			img := r / (oh * ow)
+			rem := r % (oh * ow)
+			oy := rem / ow
+			ox := rem % ow
+			base := r * rowLen
+			for c := 0; c < s.InC; c++ {
+				chanOff := (img*s.InC + c) * s.InH * s.InW
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s.Stride + ky - s.Pad
+					rowOff := base + (c*k+ky)*k
+					if iy < 0 || iy >= s.InH {
+						for kx := 0; kx < k; kx++ {
+							dst[rowOff+kx] = 0
+						}
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if ix < 0 || ix >= s.InW {
+							dst[rowOff+kx] = 0
+						} else {
+							dst[rowOff+kx] = src[chanOff+iy*s.InW+ix]
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im scatter-adds a column matrix (as produced by Im2Col) back into an
+// NCHW gradient tensor of shape (n, inC, inH, inW) — the backward of the
+// lowering.
+func Col2Im(cols *Tensor, s ConvSpec, n int) *Tensor {
+	oh, ow := s.OutH(), s.OutW()
+	k := s.Kernel
+	rowLen := s.InC * k * k
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match spec", cols.shape))
+	}
+	out := New(n, s.InC, s.InH, s.InW)
+	src := cols.data
+	dst := out.data
+	// Serial over rows: output positions overlap across rows, so the scatter
+	// must not race. n·oh·ow is modest for the sizes we run in-process.
+	for r := 0; r < n*oh*ow; r++ {
+		img := r / (oh * ow)
+		rem := r % (oh * ow)
+		oy := rem / ow
+		ox := rem % ow
+		base := r * rowLen
+		for c := 0; c < s.InC; c++ {
+			chanOff := (img*s.InC + c) * s.InH * s.InW
+			for ky := 0; ky < k; ky++ {
+				iy := oy*s.Stride + ky - s.Pad
+				if iy < 0 || iy >= s.InH {
+					continue
+				}
+				rowOff := base + (c*k+ky)*k
+				for kx := 0; kx < k; kx++ {
+					ix := ox*s.Stride + kx - s.Pad
+					if ix >= 0 && ix < s.InW {
+						dst[chanOff+iy*s.InW+ix] += src[rowOff+kx]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2x2 performs 2×2 max pooling with stride 2 on an NCHW tensor,
+// returning the pooled tensor and the flat argmax indices for backward.
+func MaxPool2x2(in *Tensor) (*Tensor, []int32) {
+	if in.Rank() != 4 {
+		panic("tensor: MaxPool2x2 requires NCHW input")
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh, ow := h/2, w/2
+	out := New(n, c, oh, ow)
+	arg := make([]int32, out.Len())
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			inOff := (img*c + ch) * h * w
+			outOff := (img*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := inOff + (2*oy)*w + 2*ox
+					bv := in.data[best]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := inOff + (2*oy+dy)*w + 2*ox + dx
+							if in.data[idx] > bv {
+								bv, best = in.data[idx], idx
+							}
+						}
+					}
+					out.data[outOff+oy*ow+ox] = bv
+					arg[outOff+oy*ow+ox] = int32(best)
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2x2Backward scatters grad back through the argmax indices into a
+// tensor with the given input shape.
+func MaxPool2x2Backward(grad *Tensor, arg []int32, inShape []int) *Tensor {
+	out := New(inShape...)
+	for i, g := range grad.data {
+		out.data[arg[i]] += g
+	}
+	return out
+}

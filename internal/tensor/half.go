@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/fp16"
+)
+
+// Half is a dense tensor stored in IEEE binary16, the storage format of θ16
+// and ∇θ16 in mixed-precision training. Compute happens in float32 (kernels
+// take/produce *Tensor); Half exists to make the 2-bytes-per-element memory
+// accounting and the quantization behaviour real rather than notional.
+type Half struct {
+	shape []int
+	data  []fp16.Bits
+}
+
+// NewHalf returns a zero-filled half tensor with the given shape.
+func NewHalf(shape ...int) *Half {
+	n := checkShape(shape)
+	return &Half{shape: append([]int(nil), shape...), data: make([]fp16.Bits, n)}
+}
+
+// HalfFromTensor quantizes t to half precision. It returns the tensor and
+// the number of elements that overflowed to ±Inf.
+func HalfFromTensor(t *Tensor) (*Half, int) {
+	h := NewHalf(t.shape...)
+	ov := fp16.FromSlice(h.data, t.data)
+	return h, ov
+}
+
+// Shape returns the dimensions (not to be modified).
+func (h *Half) Shape() []int { return h.shape }
+
+// Len returns the element count.
+func (h *Half) Len() int { return len(h.data) }
+
+// Bits returns the raw fp16 storage.
+func (h *Half) Bits() []fp16.Bits { return h.data }
+
+// Bytes returns the storage footprint in bytes (2 per element).
+func (h *Half) Bytes() int64 { return int64(len(h.data)) * 2 }
+
+// Float32 materializes the half tensor as float32 for compute.
+func (h *Half) Float32() *Tensor {
+	t := New(h.shape...)
+	if len(h.data) > 0 {
+		fp16.ToSlice(t.data, h.data)
+	}
+	return t
+}
+
+// StoreFrom quantizes src into h in place; shapes must match in element
+// count. Returns the number of overflowed elements.
+func (h *Half) StoreFrom(src *Tensor) int {
+	if len(src.data) != len(h.data) {
+		panic(fmt.Sprintf("tensor: Half.StoreFrom %d vs %d elements", len(src.data), len(h.data)))
+	}
+	if len(h.data) == 0 {
+		return 0
+	}
+	return fp16.FromSlice(h.data, src.data)
+}
+
+// LoadInto dequantizes h into dst, which must have the same element count.
+func (h *Half) LoadInto(dst *Tensor) {
+	if len(dst.data) != len(h.data) {
+		panic(fmt.Sprintf("tensor: Half.LoadInto %d vs %d elements", len(h.data), len(dst.data)))
+	}
+	if len(h.data) > 0 {
+		fp16.ToSlice(dst.data, h.data)
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Half) Clone() *Half {
+	d := make([]fp16.Bits, len(h.data))
+	copy(d, h.data)
+	return &Half{shape: append([]int(nil), h.shape...), data: d}
+}
+
+// QuantizeInPlace rounds every element of a float32 tensor through fp16,
+// simulating a store-to-half/load-from-half pair without allocating.
+func QuantizeInPlace(t *Tensor) {
+	for i, v := range t.data {
+		t.data[i] = fp16.Round(v)
+	}
+}

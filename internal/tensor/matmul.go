@@ -1,0 +1,185 @@
+package tensor
+
+import "fmt"
+
+// GEMM kernel block sizes, sized so a kc×nc panel of B plus an mc-row strip
+// of A stay L2-resident on commodity cores.
+const (
+	blockM = 64
+	blockK = 128
+)
+
+// MatMul computes C = A·B for A of shape (m,k) and B of shape (k,n),
+// returning a new (m,n) tensor. This is the dense kernel standing in for
+// cuBLAS: SAMO's whole design rests on the observation that this path is far
+// faster than sparse kernels at DL sparsities, so θ16 stays dense.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := gemmDims(a, b)
+	c := New(m, n)
+	gemm(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing (m,n) tensor, avoiding the
+// allocation. If accumulate is true it computes C += A·B.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := gemmDims(a, b)
+	if c.Len() != m*n {
+		panic(fmt.Sprintf("tensor: MatMulInto output has %d elements, want %d", c.Len(), m*n))
+	}
+	gemm(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func gemmDims(a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d and %d differ", k, b.shape[0]))
+	}
+	n = b.shape[1]
+	return m, k, n
+}
+
+// gemm is a parallel, k-blocked, write-accumulating row-major GEMM using an
+// i-k-j loop order so the inner loop is a saxpy over contiguous rows of B
+// and C (good auto-vectorization, unit stride everywhere).
+func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	if k == 0 {
+		return
+	}
+	// Parallelize over row blocks of A/C; each worker owns disjoint C rows.
+	parallelFor(m, blockM/4, func(lo, hi int) {
+		for i0 := lo; i0 < hi; i0 += blockM {
+			i1 := min(i0+blockM, hi)
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := min(k0+blockK, k)
+				for i := i0; i < i1; i++ {
+					ci := c[i*n : (i+1)*n]
+					ai := a[i*k : (i+1)*k]
+					for kk := k0; kk < k1; kk++ {
+						av := ai[kk]
+						if av == 0 {
+							continue
+						}
+						bk := b[kk*n : kk*n+n]
+						saxpy(ci, bk, av)
+					}
+				}
+			}
+		}
+	})
+}
+
+// saxpy computes ci += av * bk elementwise; split out so the compiler keeps
+// the loop tight and bounds-check eliminated.
+func saxpy(ci, bk []float32, av float32) {
+	_ = ci[len(bk)-1]
+	for j := range bk {
+		ci[j] += av * bk[j]
+	}
+}
+
+// MatMulT computes C = A·Bᵀ for A (m,k) and B (n,k) without materializing
+// the transpose. Used for weight-gradient and input-gradient passes.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimensions %d and %d differ", k, b.shape[1]))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : j*k+k]
+				ci[j] = dot(ai, bj)
+			}
+		}
+	})
+	return c
+}
+
+// TMatMul computes C = Aᵀ·B for A (k,m) and B (k,n) without materializing
+// the transpose.
+func TMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: TMatMul requires rank-2 tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimensions %d and %d differ", k, b.shape[0]))
+	}
+	n := b.shape[1]
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	// C[i,j] = Σ_kk A[kk,i]·B[kk,j]: accumulate row panels; parallel over
+	// output rows i to keep writes disjoint.
+	parallelFor(m, 8, func(lo, hi int) {
+		for kk := 0; kk < k; kk++ {
+			ak := ad[kk*m : kk*m+m]
+			bk := bd[kk*n : kk*n+n]
+			for i := lo; i < hi; i++ {
+				av := ak[i]
+				if av == 0 {
+					continue
+				}
+				saxpy(cd[i*n:(i+1)*n], bk, av)
+			}
+		}
+	})
+	return c
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	_ = b[len(a)-1]
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Transpose returns a new tensor that is the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank 2")
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	const tile = 32
+	for i0 := 0; i0 < m; i0 += tile {
+		i1 := min(i0+tile, m)
+		for j0 := 0; j0 < n; j0 += tile {
+			j1 := min(j0+tile, n)
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					t.data[j*m+i] = a.data[i*n+j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

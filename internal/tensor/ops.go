@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes dst += src elementwise.
+func Add(dst, src *Tensor) {
+	binCheck(dst, src)
+	d, s := dst.data, src.data
+	for i := range d {
+		d[i] += s[i]
+	}
+}
+
+// Sub computes dst -= src elementwise.
+func Sub(dst, src *Tensor) {
+	binCheck(dst, src)
+	d, s := dst.data, src.data
+	for i := range d {
+		d[i] -= s[i]
+	}
+}
+
+// Mul computes dst *= src elementwise (Hadamard product).
+func Mul(dst, src *Tensor) {
+	binCheck(dst, src)
+	d, s := dst.data, src.data
+	for i := range d {
+		d[i] *= s[i]
+	}
+}
+
+// Scale computes t *= a.
+func Scale(t *Tensor, a float32) {
+	d := t.data
+	for i := range d {
+		d[i] *= a
+	}
+}
+
+// Axpy computes dst += a*src elementwise.
+func Axpy(dst, src *Tensor, a float32) {
+	binCheck(dst, src)
+	d, s := dst.data, src.data
+	for i := range d {
+		d[i] += a * s[i]
+	}
+}
+
+func binCheck(dst, src *Tensor) {
+	if len(dst.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: elementwise op on %d vs %d elements", len(dst.data), len(src.data)))
+	}
+}
+
+// AddBias adds a length-n bias vector to every row of an (m,n) tensor.
+func AddBias(t, bias *Tensor) {
+	if t.Rank() != 2 || bias.Rank() != 1 || t.shape[1] != bias.shape[0] {
+		panic("tensor: AddBias requires (m,n) tensor and length-n bias")
+	}
+	n := t.shape[1]
+	b := bias.data
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
+// SumRows accumulates the rows of an (m,n) tensor into a length-n vector
+// (the bias-gradient reduction).
+func SumRows(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: SumRows requires rank 2")
+	}
+	n := t.shape[1]
+	out := New(n)
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			out.data[j] += row[j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (float64 accumulator for stability).
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length tensors.
+func Dot(a, b *Tensor) float64 {
+	binCheck(a, b)
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of t.
+func Norm2(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute value in t.
+func MaxAbs(t *Tensor) float32 {
+	var m float32
+	for _, v := range t.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ReLU applies max(0,x) in place and returns a mask tensor (1 where active)
+// for the backward pass.
+func ReLU(t *Tensor) *Tensor {
+	mask := New(t.shape...)
+	for i, v := range t.data {
+		if v > 0 {
+			mask.data[i] = 1
+		} else {
+			t.data[i] = 0
+		}
+	}
+	return mask
+}
+
+// GELU applies the tanh-approximate Gaussian error linear unit in place and
+// returns the pre-activation values needed by GELUBackward.
+func GELU(t *Tensor) *Tensor {
+	pre := t.Clone()
+	for i, x := range t.data {
+		t.data[i] = geluScalar(x)
+	}
+	return pre
+}
+
+func geluScalar(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	x64 := float64(x)
+	return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+}
+
+// GELUBackward multiplies grad (in place) by dGELU/dx evaluated at pre.
+func GELUBackward(grad, pre *Tensor) {
+	binCheck(grad, pre)
+	const c = 0.7978845608028654
+	for i, x := range pre.data {
+		x64 := float64(x)
+		u := c * (x64 + 0.044715*x64*x64*x64)
+		t := math.Tanh(u)
+		du := c * (1 + 3*0.044715*x64*x64)
+		d := 0.5*(1+t) + 0.5*x64*(1-t*t)*du
+		grad.data[i] *= float32(d)
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of an (m,n)
+// tensor in place.
+func SoftmaxRows(t *Tensor) {
+	if t.Rank() != 2 {
+		panic("tensor: SoftmaxRows requires rank 2")
+	}
+	n := t.shape[1]
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - max)))
+			row[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRows returns the index of the maximum in each row of an (m,n) tensor.
+func ArgmaxRows(t *Tensor) []int {
+	if t.Rank() != 2 {
+		panic("tensor: ArgmaxRows requires rank 2")
+	}
+	n := t.shape[1]
+	out := make([]int, t.shape[0])
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// HasNonFinite reports whether t contains an Inf or NaN — the overflow check
+// that drives dynamic loss scaling.
+func HasNonFinite(t *Tensor) bool {
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds kernel parallelism. Tests may lower it for determinism
+// of scheduling (results are deterministic regardless: work partitioning is
+// static, and no kernel reduces across goroutines non-deterministically).
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetWorkers overrides the kernel worker count (n < 1 resets to GOMAXPROCS).
+// It returns the previous value.
+func SetWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return old
+}
+
+// parallelFor runs fn(lo, hi) over a static partition of [0, n) into
+// contiguous chunks, one per worker. grain is the minimum chunk size below
+// which the loop runs serially — goroutine overhead dominates tiny kernels.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if grain < 1 {
+		grain = 1
+	}
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,274 @@
+// Package samo is the public API of the SAMO reproduction — Sparsity-aware
+// Memory Optimization for large-model training (Singh & Bhatele, IPDPS 2023).
+//
+// The workflow mirrors the paper:
+//
+//  1. Build a model (package nn via the re-exported builders, or any stack
+//     of nn.Layer values).
+//  2. Prune it — Magnitude, Random or the Early-Bird algorithm the paper
+//     uses — obtaining per-layer index sets of surviving parameters.
+//  3. Create a State in ModeSAMO: θ16 stays dense for fast kernels, every
+//     other model-state tensor is stored compressed on a shared linearized
+//     index.
+//  4. Train — serially with Trainer, or with the hybrid data + inter-layer
+//     parallel engine (Train), which also compresses the data-parallel
+//     gradient all-reduce.
+//
+// The companion Summit performance simulator (Estimate, PlanDevices) answers
+// "what would this buy me at N GPUs" with the paper's calibrated hardware
+// model, and package-level memory functions expose the §III-D closed forms.
+package samo
+
+import (
+	"io"
+
+	"github.com/sparse-dl/samo/internal/axonn"
+	"github.com/sparse-dl/samo/internal/core"
+	"github.com/sparse-dl/samo/internal/experiments"
+	"github.com/sparse-dl/samo/internal/hw"
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/optim"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/simulate"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// Re-exported core types. The aliases make the public surface explicit
+// while the implementations live in focused internal packages.
+type (
+	// Tensor is a dense row-major float32 tensor.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic generator used for initialization and data.
+	RNG = tensor.RNG
+	// Model is an ordered stack of layers.
+	Model = nn.Model
+	// Layer is a differentiable module with explicit forward/backward.
+	Layer = nn.Layer
+	// PruneResult holds per-layer indices of surviving parameters.
+	PruneResult = prune.Result
+	// State manages mixed-precision model states, dense or SAMO-compressed.
+	State = core.ModelState
+	// Trainer drives single-process training through a State.
+	Trainer = core.Trainer
+	// Mode selects dense or SAMO storage.
+	Mode = core.Mode
+	// Optimizer is the parameter-update strategy.
+	Optimizer = optim.Optimizer
+	// Batch is one training batch for the parallel engine.
+	Batch = axonn.Batch
+	// ParallelConfig describes the Ginter × Gdata hybrid layout.
+	ParallelConfig = axonn.Config
+	// ParallelResult aggregates a parallel training run.
+	ParallelResult = axonn.Result
+	// Machine is a cluster hardware profile for the simulator.
+	Machine = hw.Machine
+	// Estimate is one simulated (framework, model, GPU-count) outcome.
+	Estimate = simulate.Result
+	// MemoryBreakdown itemizes model-state bytes by component.
+	MemoryBreakdown = core.MemoryBreakdown
+)
+
+// Storage modes.
+const (
+	// ModeDense is ordinary mixed-precision training.
+	ModeDense = core.Dense
+	// ModeSAMO compresses θ32, ∇θ16, ∇θ32 and optimizer states to the
+	// unpruned coordinates (the paper's contribution).
+	ModeSAMO = core.SAMO
+)
+
+// NewRNG returns a deterministic generator.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// NewTensor returns a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// FillNormal fills t with N(0, std²) values from rng.
+func FillNormal(t *Tensor, std float64, rng *RNG) { tensor.FillNormal(t, std, rng) }
+
+// --- Model builders ---------------------------------------------------------
+
+// NewMLP builds a multi-layer perceptron with the given layer widths.
+func NewMLP(name string, dims []int, rng *RNG) *Model { return nn.BuildMLP(name, dims, rng) }
+
+// NewGPT builds a GPT-style decoder from a config (see GPTConfig).
+func NewGPT(cfg GPTConfig, rng *RNG) *Model { return nn.BuildGPT(cfg, rng) }
+
+// GPTConfig describes a GPT-family model.
+type GPTConfig = nn.GPTConfig
+
+// The paper's Table I transformer configurations (for accounting and
+// simulation; build tiny variants for in-process training).
+var (
+	GPT3XL   = nn.GPT3XL
+	GPT3o2B7 = nn.GPT3_2B7
+	GPT3o6B7 = nn.GPT3_6B7
+	GPT3o13B = nn.GPT3_13B
+)
+
+// NewVGG builds a VGG-style CNN (see nn.BuildVGG for the plan format).
+func NewVGG(name string, plan []int, inC, dim, classes int, rng *RNG) *Model {
+	return nn.BuildVGG(name, plan, inC, dim, classes, rng)
+}
+
+// NewWideResNet builds a WideResNet-style CNN with n blocks per group and
+// width multiplier k.
+func NewWideResNet(name string, n, k, inC, dim, classes int, rng *RNG) *Model {
+	return nn.BuildWideResNet(name, n, k, inC, dim, classes, rng)
+}
+
+// --- Pruning ----------------------------------------------------------------
+
+// PruneMagnitude prunes each prunable layer to the target sparsity by
+// per-layer magnitude (the uniform pruning the paper's memory model assumes).
+func PruneMagnitude(m *Model, sparsity float64) *PruneResult {
+	return prune.MagnitudePerLayer(pruneLayers(m), sparsity)
+}
+
+// PruneMagnitudeGlobal prunes by global magnitude ranking.
+func PruneMagnitudeGlobal(m *Model, sparsity float64) *PruneResult {
+	return prune.MagnitudeGlobal(pruneLayers(m), sparsity)
+}
+
+// PruneRandom prunes a random subset (control baseline).
+func PruneRandom(m *Model, sparsity float64, seed uint64) *PruneResult {
+	return prune.Random(pruneLayers(m), sparsity, seed)
+}
+
+// EarlyBird is the convergence-tested pruning algorithm the paper uses
+// (You et al., ICLR 2020). Call Observe(model) after each training epoch;
+// when it returns true, Ticket() holds the pruning result.
+type EarlyBird struct{ eb *prune.EarlyBird }
+
+// NewEarlyBird returns an Early-Bird tracker at the target sparsity.
+func NewEarlyBird(sparsity float64) *EarlyBird {
+	return &EarlyBird{eb: prune.NewEarlyBird(sparsity)}
+}
+
+// Observe records the current mask; true means the ticket has converged.
+func (e *EarlyBird) Observe(m *Model) bool { return e.eb.Observe(pruneLayers(m)) }
+
+// Ticket returns the converged pruning result (nil before convergence).
+func (e *EarlyBird) Ticket() *PruneResult { return e.eb.Ticket() }
+
+// Force draws the ticket immediately from the current parameters.
+func (e *EarlyBird) Force(m *Model) *PruneResult { return e.eb.Force(pruneLayers(m)) }
+
+func pruneLayers(m *Model) []prune.Layer {
+	var layers []prune.Layer
+	for _, e := range m.PruneLayers() {
+		layers = append(layers, prune.Layer{Name: e.Name, Values: e.Param.Value.Data()})
+	}
+	return layers
+}
+
+// --- Training ---------------------------------------------------------------
+
+// NewState wraps a model's mixed-precision states. pr may be nil in
+// ModeDense; ModeSAMO requires a pruning result.
+func NewState(m *Model, opt Optimizer, mode Mode, pr *PruneResult) *State {
+	return core.NewModelState(m, opt, mode, pr)
+}
+
+// NewTrainer returns a single-process trainer over a state.
+func NewTrainer(s *State) *Trainer { return core.NewTrainer(s) }
+
+// SaveState writes a checkpoint of the full training state (compressed θ32,
+// optimizer moments, loss-scaler) to w — SAMO checkpoints shrink with the
+// same (24p−6)φ arithmetic as resident memory. It returns the byte count.
+func SaveState(w io.Writer, s *State) (int64, error) { return s.Save(w) }
+
+// LoadState restores a checkpoint into a structurally matching State;
+// resumed training is bitwise identical to uninterrupted training.
+func LoadState(r io.Reader, s *State) error { return s.Load(r) }
+
+// NewAdam, NewAdamW and NewSGD construct the optimizers used in the paper.
+func NewAdam(lr float64) Optimizer { return optim.NewAdam(lr) }
+
+// NewAdamW returns decoupled-weight-decay Adam (GPT recipe).
+func NewAdamW(lr, weightDecay float64) Optimizer { return optim.NewAdamW(lr, weightDecay) }
+
+// NewSGD returns SGD with momentum and L2 weight decay (CNN recipe).
+func NewSGD(lr, momentum, weightDecay float64) Optimizer {
+	return optim.NewSGD(lr, momentum, weightDecay)
+}
+
+// Train runs hybrid data + inter-layer parallel training on an in-process
+// fabric: cfg.Ginter pipeline stages × cfg.Gdata data-parallel replicas,
+// one goroutine per simulated GPU. build must return identically
+// initialized models (fixed seed); optb builds one optimizer per rank.
+func Train(cfg ParallelConfig, build func() *Model, optb func() Optimizer, pr *PruneResult, batches []Batch) ParallelResult {
+	return axonn.Train(cfg, build, optb, pr, batches)
+}
+
+// --- Memory model (§III-D) --------------------------------------------------
+
+// DefaultModelStateBytes returns M_default = 20φ.
+func DefaultModelStateBytes(params int64) int64 { return core.DefaultModelStateBytes(params) }
+
+// SAMOModelStateBytes returns M_SAMO = 24(1−p)φ + 2φ.
+func SAMOModelStateBytes(params int64, sparsity float64) int64 {
+	return core.SAMOModelStateBytes(params, sparsity)
+}
+
+// MemorySavingsPercent returns the relative saving 100·(24p−6)/20.
+func MemorySavingsPercent(sparsity float64) float64 { return core.SavingsPercent(sparsity) }
+
+// BreakEvenSparsity is the sparsity below which SAMO costs memory (0.25).
+const BreakEvenSparsity = core.BreakEvenSparsity
+
+// --- Performance estimation (Summit simulator) ------------------------------
+
+// Summit returns the paper's testbed profile.
+func Summit() Machine { return hw.Summit() }
+
+// EstimateGPT simulates one training iteration of a Table I GPT config on
+// the machine at the given GPU count. samoEnabled selects AxoNN+SAMO versus
+// plain AxoNN; sparsity is the pruned fraction.
+func EstimateGPT(cfg GPTConfig, m Machine, gpus int, samoEnabled bool, sparsity float64) Estimate {
+	method := simulate.MethodAxoNN
+	if samoEnabled {
+		method = simulate.MethodSAMO
+	}
+	return simulate.Run(method, simulate.TransformerJob(cfg), m, gpus, sparsity)
+}
+
+// RunExperiment regenerates one of the paper's tables or figures into w.
+// Valid names: fig1..fig8, table1, table2, memory.
+func RunExperiment(name string, w io.Writer, trainIters int) bool {
+	switch name {
+	case "fig1":
+		experiments.Figure1(w)
+	case "fig2":
+		experiments.Figure2(w)
+	case "fig3":
+		experiments.Figure3(w)
+	case "fig4":
+		experiments.Figure4(w, trainIters)
+	case "fig5":
+		experiments.Figure5(w)
+	case "fig6":
+		experiments.Figure6(w)
+	case "fig7":
+		experiments.Figure7(w)
+	case "fig8":
+		experiments.Figure8(w)
+	case "table1":
+		experiments.Table1(w)
+	case "table2":
+		experiments.Table2(w)
+	case "memory":
+		experiments.MemoryReport(w)
+	case "sweep":
+		experiments.SparsitySweep(w)
+	default:
+		return false
+	}
+	return true
+}
+
+// ExperimentNames lists the experiments RunExperiment accepts: the paper's
+// figures and tables in order, then the extension studies.
+func ExperimentNames() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "memory", "sweep"}
+}
