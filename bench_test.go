@@ -222,18 +222,40 @@ func itoa(n int) string {
 }
 
 // BenchmarkEndToEndParallelStep times one full hybrid-parallel training
-// iteration (2×2 ranks, SAMO) on the real engine.
+// iteration (2×2 ranks, SAMO) on the real engine. One Train call drives
+// b.N batches, so ns/op and allocs/op measure the steady-state per-batch
+// cost: with the worker arenas, cache pools and pooled collective buffers
+// the engine settles at 0 allocs/op (setup amortizes away).
 func BenchmarkEndToEndParallelStep(b *testing.B) {
 	build := func() *nn.Model {
 		return nn.BuildMLP("e2e", []int{64, 128, 64, 8}, tensor.NewRNG(5))
 	}
 	pr := samoPrune(build(), 0.9)
 	batch := benchBatch(64, 16, 8)
+	batches := make([]axonn.Batch, b.N)
+	for i := range batches {
+		batches[i] = batch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	axonn.Train(axonn.Config{Ginter: 2, Gdata: 2, Microbatch: 4, Mode: core.SAMO},
+		build, func() optim.Optimizer { return optim.NewAdam(1e-3) }, pr,
+		batches)
+}
+
+// BenchmarkSerialTrainStep times the single-process trainer on the same
+// model, asserting the zero-alloc steady state from the ns/op side.
+func BenchmarkSerialTrainStep(b *testing.B) {
+	model := nn.BuildMLP("serial", []int{64, 128, 64, 8}, tensor.NewRNG(5))
+	pr := samoPrune(model, 0.9)
+	state := core.NewModelState(model, optim.NewAdam(1e-3), core.SAMO, pr)
+	tr := core.NewTrainer(state)
+	batch := benchBatch(64, 16, 8)
+	tr.TrainStep(batch.Input, batch.Targets)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		axonn.Train(axonn.Config{Ginter: 2, Gdata: 2, Microbatch: 4, Mode: core.SAMO},
-			build, func() optim.Optimizer { return optim.NewAdam(1e-3) }, pr,
-			[]axonn.Batch{batch})
+		tr.TrainStep(batch.Input, batch.Targets)
 	}
 }
 

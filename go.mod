@@ -1,0 +1,3 @@
+module github.com/sparse-dl/samo
+
+go 1.22

@@ -10,6 +10,13 @@
 // engine really trains models in parallel in-process. It is the correctness
 // half of the reproduction: the performance half at Summit scale lives in
 // internal/simulate.
+//
+// Each worker owns a tensor arena that is reset at the end of every batch
+// (the global overflow-consensus collective is a barrier, so no peer can
+// still be reading this rank's activation or gradient payloads when the
+// arena recycles them). Together with the pooled collective buffers in
+// internal/comm and the cache pools in internal/nn, a steady-state training
+// batch performs no heap allocations.
 package axonn
 
 import (
@@ -57,7 +64,9 @@ type Batch struct {
 	Samples    int
 }
 
-// shard returns data-parallel shard d of gdata.
+// shard returns data-parallel shard d of gdata. The worker's hot path
+// slices through its arena instead (zero-alloc); this allocating form is
+// kept for tests and external callers.
 func (b Batch) shard(d, gdata int) Batch {
 	per := b.Samples / gdata
 	lo, hi := d*per, (d+1)*per
@@ -134,7 +143,7 @@ func validate(cfg Config, batches []Batch) {
 
 // worker is one rank: a pipeline stage within a data-parallel group.
 type worker struct {
-	cfg   cfgView
+	cfg   Config
 	rk    *comm.Rank
 	stage int
 	dgrp  int
@@ -146,11 +155,23 @@ type worker struct {
 	allRanks   []int
 	lossGroup  []int // last-stage ranks
 
-	caches map[int][]any // microbatch -> per-layer caches
-}
+	arena       *tensor.Arena
+	caches      map[int][]any // microbatch -> per-layer caches
+	cacheFree   [][]any       // recycled cache slices
+	flagBuf     []float32     // overflow-consensus payload
+	lossBuf     []float32     // loss-average payload
+	first, last bool
 
-type cfgView struct {
-	Config
+	// Per-batch state (reset by trainBatch; fields rather than closure
+	// captures so the steady-state batch loop does not allocate).
+	shardIn      *tensor.Tensor
+	shardTargets []int
+	mCount       int
+	gradScale    float32
+	batchLoss    float64
+	fwdDone      int
+	bwdDone      int
+	injected     int
 }
 
 func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *prune.Result) *worker {
@@ -167,9 +188,14 @@ func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *pr
 	}
 
 	w := &worker{
-		cfg: cfgView{cfg}, rk: rk, stage: stage, dgrp: dgrp,
+		cfg: cfg, rk: rk, stage: stage, dgrp: dgrp,
 		model: stageModel, state: state,
-		caches: make(map[int][]any),
+		arena:   tensor.NewArena(),
+		caches:  make(map[int][]any),
+		flagBuf: make([]float32, 1),
+		lossBuf: make([]float32, 1),
+		first:   stage == 0,
+		last:    stage == cfg.Ginter-1,
 	}
 	for d := 0; d < cfg.Gdata; d++ {
 		w.stageGroup = append(w.stageGroup, d*cfg.Ginter+stage)
@@ -206,79 +232,119 @@ func min(a, b int) int {
 func (w *worker) run(batches []Batch) ([]float64, int) {
 	var losses []float64
 	for _, b := range batches {
-		losses = append(losses, w.trainBatch(b.shard(w.dgrp, w.cfg.Gdata)))
+		losses = append(losses, w.trainBatch(b))
 	}
 	return losses, w.state.SkippedSteps()
 }
 
+// getCaches pops a recycled per-layer cache slice (or makes one).
+func (w *worker) getCaches() []any {
+	if l := len(w.cacheFree); l > 0 {
+		c := w.cacheFree[l-1]
+		w.cacheFree = w.cacheFree[:l-1]
+		return c
+	}
+	return make([]any, len(w.model.Layers))
+}
+
+func (w *worker) putCaches(c []any) {
+	for i := range c {
+		c[i] = nil
+	}
+	w.cacheFree = append(w.cacheFree, c)
+}
+
+// microInput views microbatch mb of this rank's shard: a sample spans
+// SampleRows rows for token models and one dim-0 entry for image/vector
+// models (SampleRows = 1).
+func (w *worker) microInput(mb int, rowsPerMB int) *tensor.Tensor {
+	return w.arena.SliceOf(w.shardIn, mb*rowsPerMB, (mb+1)*rowsPerMB)
+}
+
+func (w *worker) microTargets(mb, rowsPerMB int) []int {
+	lo := mb * rowsPerMB
+	return w.shardTargets[lo : lo+rowsPerMB]
+}
+
+// forward runs one microbatch through this stage, then either starts the
+// backward (last stage) or ships the activation downstream.
+func (w *worker) forward(mb int, x *tensor.Tensor, rowsPerMB int) {
+	caches := w.getCaches()
+	y := w.model.ForwardArena(w.arena, x, true, caches)
+	w.caches[mb] = caches
+	w.fwdDone++
+	if w.last {
+		loss, grad := nn.CrossEntropyArena(w.arena, y, w.microTargets(mb, rowsPerMB))
+		w.batchLoss += loss / float64(w.mCount)
+		tensor.Scale(grad, w.gradScale)
+		w.backward(mb, grad)
+		w.bwdDone++
+	} else {
+		w.rk.Send(w.rk.ID()+1, comm.TagActivation, mb, y.Data(), y.Shape()...)
+	}
+}
+
+func (w *worker) backward(mb int, grad *tensor.Tensor) {
+	caches, ok := w.caches[mb]
+	if !ok {
+		panic(fmt.Sprintf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
+	}
+	delete(w.caches, mb)
+	gin := w.model.BackwardArena(w.arena, caches, grad, w.state.GradHook())
+	w.putCaches(caches)
+	if !w.first {
+		w.rk.Send(w.rk.ID()-1, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
+	}
+}
+
 // trainBatch drives one batch through the pipeline with message-driven
 // scheduling, reduces gradients across the data-parallel group, and steps.
-func (w *worker) trainBatch(shard Batch) float64 {
+// The entire steady-state path — shard views, activations, caches,
+// collective chunks — runs on recycled memory; the arena reset at the end
+// is safe because the overflow-consensus collective below is a global
+// barrier (no peer still holds references into this batch's payloads).
+func (w *worker) trainBatch(global Batch) float64 {
 	cfg := w.cfg
-	m := shard.Samples / cfg.Microbatch
+	per := global.Samples / cfg.Gdata
+	rowsShard := per * global.SampleRows
+	lo := w.dgrp * rowsShard
+	w.shardIn = w.arena.SliceOf(global.Input, lo, lo+rowsShard)
+	w.shardTargets = global.Targets[lo : lo+rowsShard]
+
+	m := per / cfg.Microbatch
+	w.mCount = m
 	w.model.ZeroGrads()
 
 	// Loss-gradient normalization: each microbatch's CrossEntropy gradient
 	// is a mean over its own rows; scaling by 1/(M·Gdata) makes the summed,
 	// all-reduced gradient the mean over the global batch.
-	gradScale := w.state.LossScale() / float32(m*cfg.Gdata)
-
-	first, last := w.stage == 0, w.stage == cfg.Ginter-1
-	next, prev := w.rk.ID()+1, w.rk.ID()-1
-
-	// microInput slices microbatch mb along dim 0: a sample spans
-	// SampleRows rows for token models ((samples·seq, 1) inputs) and one
-	// dim-0 entry for image/vector models (SampleRows = 1).
-	rowsPerMB := cfg.Microbatch * shard.SampleRows
-	microInput := func(mb int) *tensor.Tensor {
-		return shard.Input.Slice(mb*rowsPerMB, (mb+1)*rowsPerMB)
-	}
-	microTargets := func(mb int) []int {
-		lo := mb * cfg.Microbatch * shard.SampleRows
-		return shard.Targets[lo : lo+cfg.Microbatch*shard.SampleRows]
-	}
-
-	var batchLoss float64
-	fwdDone, bwdDone := 0, 0
-	injected := 0
-
-	forward := func(mb int, x *tensor.Tensor) {
-		y, caches := w.model.Forward(x, true)
-		w.caches[mb] = caches
-		fwdDone++
-		if last {
-			loss, grad := nn.CrossEntropy(y, microTargets(mb))
-			batchLoss += loss / float64(m)
-			tensor.Scale(grad, gradScale)
-			w.backward(mb, grad, first, prev)
-			bwdDone++
-		} else {
-			w.rk.Send(next, comm.TagActivation, mb, y.Data(), y.Shape()...)
-		}
-	}
+	w.gradScale = w.state.LossScale() / float32(m*cfg.Gdata)
+	w.batchLoss = 0
+	w.fwdDone, w.bwdDone, w.injected = 0, 0, 0
+	rowsPerMB := cfg.Microbatch * global.SampleRows
 
 	// Warmup: stage 0 injects up to Ginter forwards (1F1B's in-flight
 	// bound — exactly the memory-limiting behaviour AxoNN manages). With a
 	// single stage there is no pipeline and every microbatch runs inline.
-	if first {
-		for injected < m && (injected < cfg.Ginter || last) {
-			forward(injected, microInput(injected))
-			injected++
+	if w.first {
+		for w.injected < m && (w.injected < cfg.Ginter || w.last) {
+			w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB)
+			w.injected++
 		}
 	}
 
 	// Message-driven loop: process whatever arrives (§II-E).
-	for fwdDone < m || bwdDone < m {
+	for w.fwdDone < m || w.bwdDone < m {
 		msg := w.rk.Recv()
 		switch msg.Tag {
 		case comm.TagActivation:
-			forward(msg.MB, tensor.FromSlice(msg.Data, msg.Shape...))
+			w.forward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...), rowsPerMB)
 		case comm.TagGradient:
-			w.backward(msg.MB, tensor.FromSlice(msg.Data, msg.Shape...), first, prev)
-			bwdDone++
-			if first && injected < m {
-				forward(injected, microInput(injected))
-				injected++
+			w.backward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...))
+			w.bwdDone++
+			if w.first && w.injected < m {
+				w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB)
+				w.injected++
 			}
 		default:
 			panic(fmt.Sprintf("axonn: unexpected message tag %v", msg.Tag))
@@ -295,39 +361,28 @@ func (w *worker) trainBatch(shard Batch) float64 {
 		}
 	}
 
-	// Global overflow consensus so every rank agrees to step or skip.
-	flag := []float32{0}
+	// Global overflow consensus so every rank agrees to step or skip. This
+	// collective doubles as the batch-end barrier that makes the arena
+	// reset below safe.
+	w.flagBuf[0] = 0
 	if w.state.Overflow() {
-		flag[0] = 1
+		w.flagBuf[0] = 1
 	}
-	w.rk.AllReduceOrdered(w.allRanks, flag)
-	w.state.StepGiven(flag[0] > 0)
+	w.rk.AllReduceOrdered(w.allRanks, w.flagBuf)
+	w.state.StepGiven(w.flagBuf[0] > 0)
 
 	// Average the reported loss across data-parallel groups (float64 stays
 	// intact when there is only one group).
-	if w.stage == cfg.Ginter-1 && cfg.Gdata > 1 {
-		lbuf := []float32{float32(batchLoss)}
-		w.rk.AllReduceOrdered(w.lossGroup, lbuf)
-		batchLoss = float64(lbuf[0]) / float64(cfg.Gdata)
+	if w.last && cfg.Gdata > 1 {
+		w.lossBuf[0] = float32(w.batchLoss)
+		w.rk.AllReduceOrdered(w.lossGroup, w.lossBuf)
+		w.batchLoss = float64(w.lossBuf[0]) / float64(cfg.Gdata)
 	}
 
-	// Release activation caches.
-	for k := range w.caches {
-		delete(w.caches, k)
-	}
-	return batchLoss
-}
-
-func (w *worker) backward(mb int, grad *tensor.Tensor, first bool, prev int) {
-	caches, ok := w.caches[mb]
-	if !ok {
-		panic(fmt.Sprintf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
-	}
-	delete(w.caches, mb)
-	gin := w.model.Backward(caches, grad, w.state.GradHook())
-	if !first {
-		w.rk.Send(prev, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
-	}
+	w.shardIn = nil
+	w.shardTargets = nil
+	w.arena.Reset()
+	return w.batchLoss
 }
 
 // Evaluate runs a forward-only pass over the batch on a single rank layout

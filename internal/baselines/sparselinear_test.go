@@ -29,7 +29,7 @@ func TestSparseForwardMatchesMaskedDense(t *testing.T) {
 	dense, sl, _ := buildPair(12, 9, 0.8, 1)
 	x := tensor.New(5, 12)
 	tensor.FillNormal(x, 1, tensor.NewRNG(2))
-	yd, _ := dense.Forward(x, false)
+	yd, _ := dense.Forward(nil, x, false)
 	ys, _ := sl.Forward(x, false)
 	if d := tensor.MaxAbsDiff(yd, ys); d > 1e-4 {
 		t.Errorf("sparse forward diff %g", d)
@@ -43,10 +43,10 @@ func TestSparseBackwardMatchesMaskedDense(t *testing.T) {
 	gy := tensor.New(4, 7)
 	tensor.FillNormal(gy, 1, tensor.NewRNG(5))
 
-	_, cd := dense.Forward(x, true)
+	_, cd := dense.Forward(nil, x, true)
 	dense.W.ZeroGrad()
 	dense.B.ZeroGrad()
-	dxD := dense.Backward(cd, gy)
+	dxD := dense.Backward(nil, cd, gy)
 
 	_, cs := sl.Forward(x, true)
 	dxS := sl.Backward(cs, gy)
@@ -89,11 +89,11 @@ func TestSparseTrainingStepTracksDense(t *testing.T) {
 
 	const lr = 0.05
 	for step := 0; step < 5; step++ {
-		yd, cd := dense.Forward(x, true)
+		yd, cd := dense.Forward(nil, x, true)
 		_, gd := nn.CrossEntropy(yd, targets)
 		dense.W.ZeroGrad()
 		dense.B.ZeroGrad()
-		dense.Backward(cd, gd)
+		dense.Backward(nil, cd, gd)
 		// Masked-dense SGD: zero pruned grads so they stay pruned.
 		ix.Mask().Apply(dense.W.Grad.Data())
 		for i, g := range dense.W.Grad.Data() {
@@ -150,7 +150,7 @@ func BenchmarkDenseVsSparseFC(b *testing.B) {
 
 		b.Run("dense-"+itoa(dim), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				dense.Forward(x, false)
+				dense.Forward(nil, x, false)
 			}
 		})
 		b.Run("sparse-"+itoa(dim), func(b *testing.B) {

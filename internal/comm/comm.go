@@ -14,8 +14,47 @@ package comm
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
+
+// bufFree recycles collective chunk buffers. Buffers are handed from sender
+// to receiver zero-copy; the receiver returns them here after folding the
+// payload in, so steady-state collectives allocate nothing. The pool is
+// shared across ranks (buffers migrate between goroutines by design).
+var bufFree struct {
+	mu     sync.Mutex
+	bySize map[int][][]float32
+}
+
+func getBuf(n int) []float32 {
+	bufFree.mu.Lock()
+	if bufFree.bySize == nil {
+		bufFree.bySize = make(map[int][][]float32)
+	}
+	list := bufFree.bySize[n]
+	if l := len(list); l > 0 {
+		b := list[l-1]
+		bufFree.bySize[n] = list[:l-1]
+		bufFree.mu.Unlock()
+		return b
+	}
+	bufFree.mu.Unlock()
+	return make([]float32, n)
+}
+
+func putBuf(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	bufFree.mu.Lock()
+	if bufFree.bySize == nil {
+		bufFree.bySize = make(map[int][][]float32)
+	}
+	bufFree.bySize[len(b)] = append(bufFree.bySize[len(b)], b)
+	bufFree.mu.Unlock()
+}
 
 // Tag classifies data-plane messages so the engine can dispatch them.
 type Tag int
@@ -90,7 +129,7 @@ func (f *Fabric) Rank(r int) *Rank {
 	if r < 0 || r >= f.n {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, f.n))
 	}
-	return &Rank{f: f, r: r, pending: make(map[pendKey][]collMsg)}
+	return &Rank{f: f, r: r, pending: make(map[pendKey]*pendQueue)}
 }
 
 // Stats returns the traffic counters for rank r.
@@ -118,14 +157,52 @@ type pendKey struct {
 	from, tag int
 }
 
+// pendQueue is a FIFO of out-of-order collective messages. It reuses its
+// backing array (head index instead of re-slicing) so transient reordering
+// does not allocate in steady state.
+type pendQueue struct {
+	items []collMsg
+	head  int
+}
+
+func (q *pendQueue) push(m collMsg) { q.items = append(q.items, m) }
+
+func (q *pendQueue) pop() (collMsg, bool) {
+	if q.head >= len(q.items) {
+		return collMsg{}, false
+	}
+	m := q.items[q.head]
+	q.items[q.head] = collMsg{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
 // Rank is one participant's endpoint. Not safe for concurrent use by
 // multiple goroutines (each simulated GPU is one goroutine, as on the real
 // machine each GPU has one process).
 type Rank struct {
 	f       *Fabric
 	r       int
-	pending map[pendKey][]collMsg
+	pending map[pendKey]*pendQueue
 	seq     int
+	scratch []float32 // reusable single-element buffer (barriers, flags)
+	bounds  []int     // reusable chunk-boundary scratch for ring collectives
+}
+
+// chunkBounds fills the rank's reusable boundary scratch (ring collectives
+// run once per gradient buffer per batch; allocating here would defeat the
+// engine's zero-alloc steady state).
+func (rk *Rank) chunkBounds(n, g int) []int {
+	if cap(rk.bounds) < g+1 {
+		rk.bounds = make([]int, g+1)
+	}
+	rk.bounds = rk.bounds[:g+1]
+	fillChunkBounds(rk.bounds, n, g)
+	return rk.bounds
 }
 
 // ID returns this rank's index.
@@ -164,14 +241,10 @@ func (rk *Rank) sendColl(to, tag int, data []float32) {
 
 func (rk *Rank) recvColl(from, tag int) []float32 {
 	k := pendKey{from, tag}
-	if q := rk.pending[k]; len(q) > 0 {
-		m := q[0]
-		if len(q) == 1 {
-			delete(rk.pending, k)
-		} else {
-			rk.pending[k] = q[1:]
+	if q := rk.pending[k]; q != nil {
+		if m, ok := q.pop(); ok {
+			return m.data
 		}
-		return m.data
 	}
 	for {
 		m := <-rk.f.coll[rk.r]
@@ -179,7 +252,12 @@ func (rk *Rank) recvColl(from, tag int) []float32 {
 			return m.data
 		}
 		mk := pendKey{m.from, m.tag}
-		rk.pending[mk] = append(rk.pending[mk], m)
+		q := rk.pending[mk]
+		if q == nil {
+			q = &pendQueue{}
+			rk.pending[mk] = q
+		}
+		q.push(m)
 	}
 }
 
@@ -214,7 +292,7 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 	pos := rk.groupPos(group)
 	next := group[(pos+1)%g]
 	prev := group[(pos-1+g)%g]
-	bounds := chunkBounds(len(buf), g)
+	bounds := rk.chunkBounds(len(buf), g)
 	rk.f.stats[rk.r].CollOps.Add(1)
 
 	// Reduce-scatter: after step s, each rank has accumulated chunk
@@ -224,7 +302,7 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		sendChunk := (pos - s + g) % g
 		recvChunk := (pos - s - 1 + g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := make([]float32, hi-lo)
+		out := getBuf(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opAllReduce+s, out)
 		in := rk.recvColl(prev, opAllReduce+s)
@@ -233,19 +311,21 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		for i := range in {
 			buf[lo+i] += in[i]
 		}
+		putBuf(in)
 	}
 	// All-gather: circulate the finished chunks.
 	for s := 0; s < g-1; s++ {
 		sendChunk := (pos + 1 - s + g) % g
 		recvChunk := (pos - s + g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := make([]float32, hi-lo)
+		out := getBuf(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opAllReduce+1000+s, out)
 		in := rk.recvColl(prev, opAllReduce+1000+s)
 		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
 		copy(buf[lo:hi], in)
+		putBuf(in)
 	}
 }
 
@@ -268,9 +348,10 @@ func (rk *Rank) AllReduceOrdered(group []int, buf []float32) {
 			for j := range buf {
 				buf[j] += in[j]
 			}
+			putBuf(in)
 		}
 	} else {
-		out := make([]float32, len(buf))
+		out := getBuf(len(buf))
 		copy(out, buf)
 		rk.sendColl(root, opGather+pos, out)
 	}
@@ -296,7 +377,7 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 			if i == rootPos {
 				continue
 			}
-			out := make([]float32, len(buf))
+			out := getBuf(len(buf))
 			copy(out, buf)
 			rk.sendColl(g, opBcast+i, out)
 		}
@@ -304,6 +385,7 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 		in := rk.recvColl(root, opBcast+pos)
 		rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
 		copy(buf, in)
+		putBuf(in)
 	}
 }
 
@@ -312,7 +394,7 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 	g := len(group)
 	pos := rk.groupPos(group)
-	bounds := chunkBounds(len(buf), g)
+	bounds := rk.chunkBounds(len(buf), g)
 	if g == 1 {
 		out := make([]float32, len(buf))
 		copy(out, buf)
@@ -327,7 +409,7 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 		sendChunk := (pos - s - 1 + 2*g) % g
 		recvChunk := (pos - s - 2 + 2*g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := make([]float32, hi-lo)
+		out := getBuf(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opRS+s, out)
 		in := rk.recvColl(prev, opRS+s)
@@ -336,6 +418,7 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 		for i := range in {
 			buf[lo+i] += in[i]
 		}
+		putBuf(in)
 	}
 	own := pos
 	lo, hi := bounds[own], bounds[own+1]
@@ -350,7 +433,7 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 	g := len(group)
 	pos := rk.groupPos(group)
 	full := make([]float32, total)
-	bounds := chunkBounds(total, g)
+	bounds := rk.chunkBounds(total, g)
 	lo := bounds[pos]
 	copy(full[lo:lo+len(chunk)], chunk)
 	if g == 1 {
@@ -362,7 +445,7 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 	cur := pos
 	for s := 0; s < g-1; s++ {
 		clo, chi := bounds[cur], bounds[cur+1]
-		out := make([]float32, chi-clo)
+		out := getBuf(chi - clo)
 		copy(out, full[clo:chi])
 		rk.sendColl(next, opAG+s, out)
 		in := rk.recvColl(prev, opAG+s)
@@ -370,20 +453,30 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 		clo, chi = bounds[cur], bounds[cur+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(chi - clo))
 		copy(full[clo:chi], in)
+		putBuf(in)
 	}
 	return full
 }
 
 // Barrier blocks until every rank of the group has entered it.
 func (rk *Rank) Barrier(group []int) {
-	one := []float32{1}
-	rk.AllReduceOrdered(group, one)
+	if rk.scratch == nil {
+		rk.scratch = make([]float32, 1)
+	}
+	rk.scratch[0] = 1
+	rk.AllReduceOrdered(group, rk.scratch)
 }
 
 // chunkBounds splits n elements into g nearly equal contiguous chunks,
 // returning g+1 boundaries.
 func chunkBounds(n, g int) []int {
 	b := make([]int, g+1)
+	fillChunkBounds(b, n, g)
+	return b
+}
+
+func fillChunkBounds(b []int, n, g int) {
+	b[0] = 0
 	base, rem := n/g, n%g
 	for i := 0; i < g; i++ {
 		b[i+1] = b[i] + base
@@ -391,5 +484,4 @@ func chunkBounds(n, g int) []int {
 			b[i+1]++
 		}
 	}
-	return b
 }

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTrainStepZeroAlloc pins the tentpole perf contract: after warmup, a
+// full mixed-precision SAMO training step — forward, loss, scaled backward
+// with layer-granular gradient capture, optimizer step, fp16 down-cast and
+// expansion — performs zero heap allocations. Everything runs on the
+// trainer's arena, the layer cache pools, and the kernel job free lists.
+func TestTrainStepZeroAlloc(t *testing.T) {
+	for _, mode := range []Mode{Dense, SAMO} {
+		_, ms, _ := buildTestSetup(mode, 0.75, 7)
+		tr := NewTrainer(ms)
+		x, targets := makeBatch(16, 8, 4, 8)
+		// Warm: arena free lists, cache pools, optimizer state, worker pool.
+		for i := 0; i < 3; i++ {
+			tr.TrainStep(x, targets)
+		}
+		if a := testing.AllocsPerRun(30, func() { tr.TrainStep(x, targets) }); a != 0 {
+			t.Errorf("%v: TrainStep allocates %.1f per step, want 0", mode, a)
+		}
+	}
+}

@@ -70,6 +70,13 @@ type ModelState struct {
 	overflow bool
 	steps    int
 	skipped  int
+
+	// Steady-state scratch, built once so Step/ReduceBuffers/GradHook do
+	// not allocate per call.
+	hook        nn.GradHook
+	layerParams map[nn.Layer][]*nn.Param
+	reduceBufs  [][]float32
+	clipBufs    [][]float32
 }
 
 // NewModelState builds the state manager. For SAMO mode, pr must hold the
@@ -119,6 +126,23 @@ func NewModelState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prune.Re
 		ms.states = append(ms.states, st)
 		ms.byParam[p] = st
 	}
+	ms.layerParams = make(map[nn.Layer][]*nn.Param)
+	ms.hook = func(layer nn.Layer) {
+		ps, ok := ms.layerParams[layer]
+		if !ok {
+			ps = layer.Params()
+			ms.layerParams[layer] = ps
+		}
+		for _, p := range ps {
+			ms.captureParam(p)
+		}
+	}
+	ms.reduceBufs = make([][]float32, len(ms.states))
+	ms.clipBufs = make([][]float32, len(ms.states))
+	for i, st := range ms.states {
+		ms.reduceBufs[i] = st.grad16
+		ms.clipBufs[i] = st.grad32
+	}
 	return ms
 }
 
@@ -135,14 +159,10 @@ func (ms *ModelState) LossScale() float32 { return float32(ms.Scaler.Scale) }
 // GradHook returns the backward-pass hook that captures (and under SAMO,
 // compresses) each layer's gradients the moment that layer's backward
 // finishes — §III-C's layer-granular compression. The dense accumulator is
-// cleared afterwards so whole-model dense gradients never coexist.
-func (ms *ModelState) GradHook() nn.GradHook {
-	return func(layer nn.Layer) {
-		for _, p := range layer.Params() {
-			ms.captureParam(p)
-		}
-	}
-}
+// cleared afterwards so whole-model dense gradients never coexist. The hook
+// is built once at construction (and memoizes each layer's parameter list),
+// so fetching and running it allocates nothing.
+func (ms *ModelState) GradHook() nn.GradHook { return ms.hook }
 
 func (ms *ModelState) captureParam(p *nn.Param) {
 	st, ok := ms.byParam[p]
@@ -183,14 +203,9 @@ func (ms *ModelState) CaptureAll() {
 // ReduceBuffers exposes the captured fp16 gradient vectors for data-parallel
 // all-reduce. Under SAMO these are the compressed vectors — the paper's
 // collective-communication optimization: message size drops from 2φ to 2fφ
-// bytes with no extra copies.
-func (ms *ModelState) ReduceBuffers() [][]float32 {
-	out := make([][]float32, len(ms.states))
-	for i, st := range ms.states {
-		out[i] = st.grad16
-	}
-	return out
-}
+// bytes with no extra copies. The returned slice is owned by the state and
+// reused across calls (do not modify its structure).
+func (ms *ModelState) ReduceBuffers() [][]float32 { return ms.reduceBufs }
 
 // GradElements returns the total element count of the all-reduce payload.
 func (ms *ModelState) GradElements() int64 {
@@ -247,11 +262,7 @@ func (ms *ModelState) StepGiven(overflow bool) bool {
 		}
 	}
 	if ms.ClipNorm > 0 {
-		bufs := make([][]float32, len(ms.states))
-		for i, st := range ms.states {
-			bufs[i] = st.grad32
-		}
-		optim.ClipGradNorm(bufs, ms.ClipNorm)
+		optim.ClipGradNorm(ms.clipBufs, ms.ClipNorm)
 	}
 	for _, st := range ms.states {
 		ms.opt.Step(st.p.Name, st.theta32, st.grad32)

@@ -8,8 +8,16 @@ import (
 // Trainer runs single-process mixed-precision training through a ModelState:
 // the serial reference the parallel engine must reproduce, and the workhorse
 // of the statistical-efficiency experiment (Figure 4).
+//
+// The trainer owns a tensor arena and a reusable cache slice, so after the
+// first batch every TrainStep runs with zero heap allocations: activations,
+// gradients and scratch all come from the arena and are reclaimed wholesale
+// when the step completes.
 type Trainer struct {
 	State *ModelState
+
+	arena  *tensor.Arena
+	caches []any
 }
 
 // NewTrainer wraps a ModelState.
@@ -20,18 +28,32 @@ func NewTrainer(state *ModelState) *Trainer { return &Trainer{State: state} }
 // the (unscaled) mean loss and whether the step was applied.
 func (t *Trainer) TrainStep(x *tensor.Tensor, targets []int) (float64, bool) {
 	m := t.State.Model()
+	if t.arena == nil {
+		t.arena = tensor.NewArena()
+	}
+	if len(t.caches) != len(m.Layers) {
+		t.caches = make([]any, len(m.Layers))
+	}
 	m.ZeroGrads()
-	y, caches := m.Forward(x, true)
-	loss, grad := nn.CrossEntropy(y, targets)
+	y := m.ForwardArena(t.arena, x, true, t.caches)
+	loss, grad := nn.CrossEntropyArena(t.arena, y, targets)
 	tensor.Scale(grad, t.State.LossScale())
-	m.Backward(caches, grad, t.State.GradHook())
+	m.BackwardArena(t.arena, t.caches, grad, t.State.GradHook())
 	applied := t.State.Step()
+	t.arena.Reset()
 	return loss, applied
 }
 
 // EvalLoss computes the mean loss on a batch without training.
 func (t *Trainer) EvalLoss(x *tensor.Tensor, targets []int) float64 {
-	y, _ := t.State.Model().Forward(x, false)
-	loss, _ := nn.CrossEntropy(y, targets)
+	if t.arena == nil {
+		t.arena = tensor.NewArena()
+	}
+	if len(t.caches) != len(t.State.Model().Layers) {
+		t.caches = make([]any, len(t.State.Model().Layers))
+	}
+	y := t.State.Model().ForwardArena(t.arena, x, false, t.caches)
+	loss, _ := nn.CrossEntropyArena(t.arena, y, targets)
+	t.arena.Reset()
 	return loss
 }

@@ -10,7 +10,17 @@
 // fp16 inputs feed fp32 accumulators in tensor cores) — only storage is 16-bit.
 package fp16
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/sparse-dl/samo/internal/parallel"
+)
+
+// convGrain is the minimum elements per parallel chunk for the slice
+// converters; conversions are a few ALU ops per element, so small slices
+// are not worth dispatching.
+const convGrain = 8192
 
 // Bits is a raw IEEE 754 binary16 value.
 type Bits uint16
@@ -142,27 +152,66 @@ func IsFinite(h Bits) bool { return h&expMask != expMask }
 // MaxFinite returns the largest finite half-precision value as a float32.
 func MaxFinite() float32 { return maxFiniteF32 }
 
-// FromSlice converts src into dst, which must have len(src) capacity.
-// It returns the number of elements that overflowed to infinity, which the
-// dynamic loss scaler uses to detect an overflowed step.
-func FromSlice(dst []Bits, src []float32) (overflows int) {
-	_ = dst[len(src)-1]
-	for i, f := range src {
-		h := FromFloat32(f)
-		dst[i] = h
+// convJob carries a slice conversion's arguments to the worker pool;
+// recycled so the converters stay allocation-free (they back Half storage
+// on mixed-precision paths).
+type convJob struct {
+	dst []Bits
+	src []float32
+	ov  atomic.Int64
+}
+
+var convJobFree parallel.Pool[convJob]
+
+func fromChunk(ctx any, lo, hi int) {
+	j := ctx.(*convJob)
+	local := 0
+	for i := lo; i < hi; i++ {
+		h := FromFloat32(j.src[i])
+		j.dst[i] = h
 		if IsInf(h) || IsNaN(h) {
-			overflows++
+			local++
 		}
 	}
+	if local > 0 {
+		j.ov.Add(int64(local))
+	}
+}
+
+func toChunk(ctx any, lo, hi int) {
+	j := ctx.(*convJob)
+	for i := lo; i < hi; i++ {
+		j.src[i] = ToFloat32(j.dst[i])
+	}
+}
+
+// FromSlice converts src into dst, which must have len(src) capacity.
+// It returns the number of elements that overflowed to infinity, which the
+// dynamic loss scaler uses to detect an overflowed step. Large slices are
+// converted in parallel on the shared worker pool; the call is
+// allocation-free (pooled job descriptors, no closures).
+func FromSlice(dst []Bits, src []float32) (overflows int) {
+	_ = dst[len(src)-1]
+	j := convJobFree.Get()
+	j.dst, j.src = dst, src
+	j.ov.Store(0)
+	parallel.Run(len(src), convGrain, j, fromChunk)
+	overflows = int(j.ov.Load())
+	j.dst, j.src = nil, nil
+	convJobFree.Put(j)
 	return overflows
 }
 
-// ToSlice converts src into dst, which must have len(src) capacity.
+// ToSlice converts src into dst, which must have len(src) capacity. Large
+// slices are converted in parallel on the shared worker pool;
+// allocation-free like FromSlice.
 func ToSlice(dst []float32, src []Bits) {
 	_ = dst[len(src)-1]
-	for i, h := range src {
-		dst[i] = ToFloat32(h)
-	}
+	j := convJobFree.Get()
+	j.dst, j.src = src, dst
+	parallel.Run(len(src), convGrain, j, toChunk)
+	j.dst, j.src = nil, nil
+	convJobFree.Put(j)
 }
 
 // AnyNonFinite reports whether any element of s is infinity or NaN.

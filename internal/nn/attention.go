@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -39,34 +40,44 @@ func NewCausalSelfAttention(name string, d, heads, seq int, rng *tensor.RNG) *Ca
 type attnCache struct {
 	x     *tensor.Tensor // (B·T, d)
 	qkv   *tensor.Tensor // (B·T, 3d)
-	probs []float32      // (B, H, T, T) softmax rows
+	probs *tensor.Tensor // (B·H·T·T) softmax rows
 	heads *tensor.Tensor // (B·T, d) concatenated head outputs
 	batch int
 }
 
-// Forward computes attention over x of shape (batch·seq, d).
-func (a *CausalSelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+var attnCaches parallel.Pool[attnCache]
+
+// Forward computes attention over x of shape (batch·seq, d). The per-head
+// score/softmax/value loop runs in parallel over (batch, head) pairs on the
+// shared worker pool — each pair touches disjoint slices of probs and
+// disjoint columns of the head output.
+func (a *CausalSelfAttention) Forward(ar *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 2 || x.Dim(1) != a.d || x.Dim(0)%a.seq != 0 {
 		panic(fmt.Sprintf("nn: attention(d=%d,seq=%d) got %v", a.d, a.seq, x.Shape()))
 	}
 	batch := x.Dim(0) / a.seq
 	T, H, dh := a.seq, a.heads, a.dh
 
-	qkv := tensor.MatMul(x, a.Wqkv.Value)
+	qkv := ar.Get(x.Dim(0), 3*a.d)
+	tensor.MatMulInto(qkv, x, a.Wqkv.Value, false)
 	tensor.AddBias(qkv, a.Bqkv.Value)
 
-	probs := make([]float32, batch*H*T*T)
-	headsOut := tensor.New(batch*T, a.d)
+	probsT := ar.Get(batch * H * T * T)
+	headsOut := ar.GetZeroed(batch*T, a.d)
+	probs := probsT.Data()
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	qd := qkv.Data()
+	hd := headsOut.Data()
 	stride := 3 * a.d
+	d := a.d
 
-	for b := 0; b < batch; b++ {
-		for h := 0; h < H; h++ {
+	parallel.For(batch*H, 1, func(lo, hi int) {
+		for bh := lo; bh < hi; bh++ {
+			b, h := bh/H, bh%H
 			qOff := h * dh
-			kOff := a.d + h*dh
-			vOff := 2*a.d + h*dh
-			pBase := (b*H + h) * T * T
+			kOff := d + h*dh
+			vOff := 2*d + h*dh
+			pBase := bh * T * T
 			// scores + softmax row by row (causal: j <= i).
 			for i := 0; i < T; i++ {
 				qi := qd[(b*T+i)*stride+qOff : (b*T+i)*stride+qOff+dh]
@@ -98,7 +109,7 @@ func (a *CausalSelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Ten
 					row[j] = 0
 				}
 				// out_i = Σ_j p_ij v_j
-				oi := headsOut.Data()[(b*T+i)*a.d+h*dh : (b*T+i)*a.d+h*dh+dh]
+				oi := hd[(b*T+i)*d+h*dh : (b*T+i)*d+h*dh+dh]
 				for j := 0; j <= i; j++ {
 					p := row[j]
 					if p == 0 {
@@ -111,45 +122,53 @@ func (a *CausalSelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Ten
 				}
 			}
 		}
-	}
+	})
 
-	y := tensor.MatMul(headsOut, a.Wproj.Value)
+	y := ar.Get(batch*T, a.d)
+	tensor.MatMulInto(y, headsOut, a.Wproj.Value, false)
 	tensor.AddBias(y, a.Bproj.Value)
 	if !train {
 		return y, nil
 	}
-	return y, &attnCache{x: x, qkv: qkv, probs: probs, heads: headsOut, batch: batch}
+	c := attnCaches.Get()
+	c.x, c.qkv, c.probs, c.heads, c.batch = x, qkv, probsT, headsOut, batch
+	return y, c
 }
 
 // Backward propagates through projection, attention weights and the QKV
-// projection, accumulating all four parameter gradients.
-func (a *CausalSelfAttention) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+// projection, accumulating all four parameter gradients. The per-head loop
+// parallelizes over (batch, head): every write — dQKV column bands, probs
+// slices — is disjoint across pairs.
+func (a *CausalSelfAttention) Backward(ar *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*attnCache)
 	batch, T, H, dh := c.batch, a.seq, a.heads, a.dh
 	stride := 3 * a.d
 	scale := float32(1 / math.Sqrt(float64(dh)))
+	d := a.d
 
-	// Projection backward.
-	dWp := tensor.TMatMul(c.heads, gradOut)
-	tensor.Add(a.Wproj.Grad, dWp)
-	tensor.Add(a.Bproj.Grad, tensor.SumRows(gradOut))
-	dHeads := tensor.MatMulT(gradOut, a.Wproj.Value) // (B·T, d)
+	// Projection backward (gradients accumulate into the Param tensors).
+	tensor.TMatMulInto(a.Wproj.Grad, c.heads, gradOut, true)
+	tensor.SumRowsInto(a.Bproj.Grad, gradOut, true)
+	dHeads := ar.Get(batch*T, a.d)
+	tensor.MatMulTInto(dHeads, gradOut, a.Wproj.Value, false)
 
-	dQKV := tensor.New(batch*T, stride)
+	dQKV := ar.GetZeroed(batch*T, stride)
 	qd, dqd := c.qkv.Data(), dQKV.Data()
+	probs := c.probs.Data()
 	hd := dHeads.Data()
 
-	for b := 0; b < batch; b++ {
-		for h := 0; h < H; h++ {
+	parallel.For(batch*H, 1, func(lo, hi int) {
+		dp := make([]float32, T)
+		for bh := lo; bh < hi; bh++ {
+			b, h := bh/H, bh%H
 			qOff := h * dh
-			kOff := a.d + h*dh
-			vOff := 2*a.d + h*dh
-			pBase := (b*H + h) * T * T
+			kOff := d + h*dh
+			vOff := 2*d + h*dh
+			pBase := bh * T * T
 			for i := 0; i < T; i++ {
-				do := hd[(b*T+i)*a.d+h*dh : (b*T+i)*a.d+h*dh+dh]
-				row := c.probs[pBase+i*T : pBase+i*T+T]
+				do := hd[(b*T+i)*d+h*dh : (b*T+i)*d+h*dh+dh]
+				row := probs[pBase+i*T : pBase+i*T+T]
 				// dV_j += p_ij * do ; dp_ij = do · v_j
-				dp := make([]float32, i+1)
 				for j := 0; j <= i; j++ {
 					p := row[j]
 					vj := qd[(b*T+j)*stride+vOff : (b*T+j)*stride+vOff+dh]
@@ -182,13 +201,16 @@ func (a *CausalSelfAttention) Backward(cache any, gradOut *tensor.Tensor) *tenso
 				}
 			}
 		}
-	}
+	})
 
 	// QKV projection backward.
-	dWqkv := tensor.TMatMul(c.x, dQKV)
-	tensor.Add(a.Wqkv.Grad, dWqkv)
-	tensor.Add(a.Bqkv.Grad, tensor.SumRows(dQKV))
-	return tensor.MatMulT(dQKV, a.Wqkv.Value)
+	tensor.TMatMulInto(a.Wqkv.Grad, c.x, dQKV, true)
+	tensor.SumRowsInto(a.Bqkv.Grad, dQKV, true)
+	dx := ar.Get(batch*T, a.d)
+	tensor.MatMulTInto(dx, dQKV, a.Wqkv.Value, false)
+	c.x, c.qkv, c.probs, c.heads = nil, nil, nil, nil
+	attnCaches.Put(c)
+	return dx
 }
 
 // Params returns the QKV and output-projection parameters.

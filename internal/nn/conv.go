@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -31,66 +32,77 @@ type convCache struct {
 	n    int
 }
 
+var convCaches parallel.Pool[convCache]
+
 // Forward lowers the input and multiplies against the filter matrix,
 // producing an NCHW output.
-func (c *Conv2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (c *Conv2d) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: Conv2d got input %v", x.Shape()))
 	}
 	n := x.Dim(0)
-	cols := tensor.Im2Col(x, c.Spec) // (n·oh·ow, inC·k·k)
-	out := tensor.MatMulT(cols, c.W.Value)
+	oh, ow := c.Spec.OutH(), c.Spec.OutW()
+	cols := a.Get(n*oh*ow, c.Spec.InC*c.Spec.Kernel*c.Spec.Kernel)
+	tensor.Im2ColInto(cols, x, c.Spec)
+	out := a.Get(n*oh*ow, c.Spec.OutC)
+	tensor.MatMulTInto(out, cols, c.W.Value, false)
 	tensor.AddBias(out, c.B.Value)
-	y := rowsToNCHW(out, n, c.Spec.OutC, c.Spec.OutH(), c.Spec.OutW())
+	y := a.Get(n, c.Spec.OutC, oh, ow)
+	rowsToNCHW(y, out, n, c.Spec.OutC, oh, ow)
 	if !train {
 		return y, nil
 	}
-	return y, &convCache{cols: cols, n: n}
+	cc := convCaches.Get()
+	cc.cols, cc.n = cols, n
+	return y, cc
 }
 
-// Backward computes filter/bias gradients and the input gradient via the
-// col2im adjoint.
-func (c *Conv2d) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+// Backward computes filter/bias gradients (accumulating directly into the
+// Grad tensors) and the input gradient via the col2im adjoint.
+func (c *Conv2d) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := cache.(*convCache)
 	oh, ow := c.Spec.OutH(), c.Spec.OutW()
 	// NCHW grad -> (n·oh·ow, outC) rows matching im2col layout.
-	gRows := nchwToRows(gradOut, cc.n, c.Spec.OutC, oh, ow)
-	// dW (outC, inC·k·k) = gRowsᵀ · cols
-	dW := tensor.TMatMul(gRows, cc.cols)
-	tensor.Add(c.W.Grad, dW)
-	tensor.Add(c.B.Grad, tensor.SumRows(gRows))
+	gRows := a.Get(cc.n*oh*ow, c.Spec.OutC)
+	nchwToRows(gRows, gradOut, cc.n, c.Spec.OutC, oh, ow)
+	// dW (outC, inC·k·k) += gRowsᵀ · cols
+	tensor.TMatMulInto(c.W.Grad, gRows, cc.cols, true)
+	tensor.SumRowsInto(c.B.Grad, gRows, true)
 	// dcols (n·oh·ow, inC·k·k) = gRows · W
-	dCols := tensor.MatMul(gRows, c.W.Value)
-	return tensor.Col2Im(dCols, c.Spec, cc.n)
+	dCols := a.Get(cc.n*oh*ow, c.Spec.InC*c.Spec.Kernel*c.Spec.Kernel)
+	tensor.MatMulInto(dCols, gRows, c.W.Value, false)
+	dx := a.GetZeroed(cc.n, c.Spec.InC, c.Spec.InH, c.Spec.InW)
+	tensor.Col2ImInto(dx, dCols, c.Spec, cc.n)
+	cc.cols = nil
+	convCaches.Put(cc)
+	return dx
 }
 
 // Params returns the filter matrix and bias.
 func (c *Conv2d) Params() []*Param { return []*Param{c.W, c.B} }
 
-func rowsToNCHW(rows *tensor.Tensor, n, ch, oh, ow int) *tensor.Tensor {
-	out := tensor.New(n, ch, oh, ow)
+func rowsToNCHW(out, rows *tensor.Tensor, n, ch, oh, ow int) {
 	hw := oh * ow
+	od, rd := out.Data(), rows.Data()
 	for r := 0; r < n*hw; r++ {
 		img := r / hw
 		pos := r % hw
 		for oc := 0; oc < ch; oc++ {
-			out.Data()[(img*ch+oc)*hw+pos] = rows.Data()[r*ch+oc]
+			od[(img*ch+oc)*hw+pos] = rd[r*ch+oc]
 		}
 	}
-	return out
 }
 
-func nchwToRows(t *tensor.Tensor, n, ch, oh, ow int) *tensor.Tensor {
-	rows := tensor.New(n*oh*ow, ch)
+func nchwToRows(rows, t *tensor.Tensor, n, ch, oh, ow int) {
 	hw := oh * ow
+	rd, td := rows.Data(), t.Data()
 	for r := 0; r < n*hw; r++ {
 		img := r / hw
 		pos := r % hw
 		for oc := 0; oc < ch; oc++ {
-			rows.Data()[r*ch+oc] = t.Data()[(img*ch+oc)*hw+pos]
+			rd[r*ch+oc] = td[(img*ch+oc)*hw+pos]
 		}
 	}
-	return rows
 }
 
 // MaxPool halves spatial dimensions with a 2×2/stride-2 max pool.
@@ -101,19 +113,33 @@ type poolCache struct {
 	inShape []int
 }
 
+var poolCaches parallel.Pool[poolCache]
+
 // Forward pools and caches argmax indices.
-func (MaxPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	y, arg := tensor.MaxPool2x2(x)
+func (MaxPool) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	y := a.Get(n, c, h/2, w/2)
+	pc := poolCaches.Get()
+	if cap(pc.arg) < y.Len() {
+		pc.arg = make([]int32, y.Len())
+	}
+	pc.arg = pc.arg[:y.Len()]
+	tensor.MaxPool2x2Into(y, pc.arg, x)
 	if !train {
+		poolCaches.Put(pc)
 		return y, nil
 	}
-	return y, &poolCache{arg: arg, inShape: append([]int(nil), x.Shape()...)}
+	pc.inShape = append(pc.inShape[:0], x.Shape()...)
+	return y, pc
 }
 
 // Backward scatters gradient to argmax positions.
-func (MaxPool) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (MaxPool) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*poolCache)
-	return tensor.MaxPool2x2Backward(gradOut, c.arg, c.inShape)
+	dx := a.GetZeroed(c.inShape...)
+	tensor.MaxPool2x2BackwardInto(dx, gradOut, c.arg)
+	poolCaches.Put(c)
+	return dx
 }
 
 // Params returns nil: pooling has no parameters.
@@ -123,41 +149,53 @@ func (MaxPool) Params() []*Param { return nil }
 // of ResNet-style networks.
 type GlobalAvgPool struct{}
 
+type gapCache struct{ shape []int }
+
+var gapCaches parallel.Pool[gapCache]
+
 // Forward averages spatial positions per channel.
-func (GlobalAvgPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (GlobalAvgPool) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
-	y := tensor.New(n, c)
+	y := a.Get(n, c)
 	inv := 1 / float32(hw)
+	xd, yd := x.Data(), y.Data()
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			off := (img*c + ch) * hw
 			var s float32
 			for i := 0; i < hw; i++ {
-				s += x.Data()[off+i]
+				s += xd[off+i]
 			}
-			y.Data()[img*c+ch] = s * inv
+			yd[img*c+ch] = s * inv
 		}
 	}
-	return y, append([]int(nil), x.Shape()...)
+	if !train {
+		return y, nil
+	}
+	gc := gapCaches.Get()
+	gc.shape = append(gc.shape[:0], x.Shape()...)
+	return y, gc
 }
 
 // Backward broadcasts the gradient uniformly over spatial positions.
-func (GlobalAvgPool) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
-	shape := cache.([]int)
-	n, c, h, w := shape[0], shape[1], shape[2], shape[3]
+func (GlobalAvgPool) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	gc := cache.(*gapCache)
+	n, c, h, w := gc.shape[0], gc.shape[1], gc.shape[2], gc.shape[3]
 	hw := h * w
-	dx := tensor.New(shape...)
+	dx := a.Get(gc.shape...)
 	inv := 1 / float32(hw)
+	gd, dd := gradOut.Data(), dx.Data()
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
-			g := gradOut.Data()[img*c+ch] * inv
+			g := gd[img*c+ch] * inv
 			off := (img*c + ch) * hw
 			for i := 0; i < hw; i++ {
-				dx.Data()[off+i] = g
+				dd[off+i] = g
 			}
 		}
 	}
+	gapCaches.Put(gc)
 	return dx
 }
 
@@ -199,46 +237,64 @@ type resCache struct {
 	cs               any
 }
 
+var resCaches parallel.Pool[resCache]
+
 // Forward runs the two-conv residual path plus shortcut.
-func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	h1, cb1 := b.BN1.Forward(x, train)
-	r1 := tensor.ReLU(h1)
-	h2, c1 := b.Conv1.Forward(h1, train)
-	h3, cb2 := b.BN2.Forward(h2, train)
-	r2 := tensor.ReLU(h3)
-	h4, c2 := b.Conv2.Forward(h3, train)
+func (b *ResidualBlock) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	h1, cb1 := b.BN1.Forward(a, x, train)
+	var r1, r2 *tensor.Tensor
+	if train {
+		r1 = a.Get(h1.Shape()...)
+		tensor.ReLUWithMask(h1, r1)
+	} else {
+		tensor.ReLUInPlace(h1)
+	}
+	h2, c1 := b.Conv1.Forward(a, h1, train)
+	h3, cb2 := b.BN2.Forward(a, h2, train)
+	if train {
+		r2 = a.Get(h3.Shape()...)
+		tensor.ReLUWithMask(h3, r2)
+	} else {
+		tensor.ReLUInPlace(h3)
+	}
+	h4, c2 := b.Conv2.Forward(a, h3, train)
 	var short *tensor.Tensor
 	var cs any
 	if b.Shortcut != nil {
-		short, cs = b.Shortcut.Forward(x, train)
+		short, cs = b.Shortcut.Forward(a, x, train)
 	} else {
 		short = x
 	}
-	y := h4.Clone()
+	y := a.Get(h4.Shape()...)
+	y.CopyFrom(h4)
 	tensor.Add(y, short)
 	if !train {
 		return y, nil
 	}
-	return y, &resCache{x: x, c1: c1, c2: c2, cb1: cb1, cb2: cb2, r1: r1, r2: r2, cs: cs}
+	c := resCaches.Get()
+	c.x, c.c1, c.c2, c.cb1, c.cb2, c.r1, c.r2, c.cs = x, c1, c2, cb1, cb2, r1, r2, cs
+	return y, c
 }
 
 // Backward propagates through both paths and sums the input gradients.
-func (b *ResidualBlock) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (b *ResidualBlock) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*resCache)
 	// Main path: conv2 <- relu2 <- bn2 <- conv1 <- relu1 <- bn1.
-	g := b.Conv2.Backward(c.c2, gradOut)
+	g := b.Conv2.Backward(a, c.c2, gradOut)
 	tensor.Mul(g, c.r2)
-	g = b.BN2.Backward(c.cb2, g)
-	g = b.Conv1.Backward(c.c1, g)
+	g = b.BN2.Backward(a, c.cb2, g)
+	g = b.Conv1.Backward(a, c.c1, g)
 	tensor.Mul(g, c.r1)
-	g = b.BN1.Backward(c.cb1, g)
+	g = b.BN1.Backward(a, c.cb1, g)
 	// Shortcut path.
 	if b.Shortcut != nil {
-		gs := b.Shortcut.Backward(c.cs, gradOut)
+		gs := b.Shortcut.Backward(a, c.cs, gradOut)
 		tensor.Add(g, gs)
 	} else {
 		tensor.Add(g, gradOut)
 	}
+	c.x, c.c1, c.c2, c.cb1, c.cb2, c.r1, c.r2, c.cs = nil, nil, nil, nil, nil, nil, nil, nil
+	resCaches.Put(c)
 	return g
 }
 

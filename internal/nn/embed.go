@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -45,14 +46,21 @@ func TokensToTensor(tokens []int) *tensor.Tensor {
 
 type embedCache struct{ ids []int }
 
+var embedCaches parallel.Pool[embedCache]
+
 // Forward looks up token and positional vectors.
-func (e *Embedding) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (e *Embedding) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 2 || x.Dim(1) != 1 || x.Dim(0)%e.seq != 0 {
 		panic(fmt.Sprintf("nn: Embedding(seq=%d) got %v", e.seq, x.Shape()))
 	}
 	n := x.Dim(0)
-	ids := make([]int, n)
-	y := tensor.New(n, e.d)
+	c := embedCaches.Get()
+	if cap(c.ids) < n {
+		c.ids = make([]int, n)
+	}
+	c.ids = c.ids[:n]
+	ids := c.ids
+	y := a.Get(n, e.d)
 	tok, pos := e.Tok.Value.Data(), e.Pos.Value.Data()
 	for i := 0; i < n; i++ {
 		id := int(x.Data()[i])
@@ -69,15 +77,16 @@ func (e *Embedding) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) 
 		}
 	}
 	if !train {
+		embedCaches.Put(c)
 		return y, nil
 	}
-	return y, &embedCache{ids: ids}
+	return y, c
 }
 
 // Backward scatter-adds gradients into the embedding tables. The returned
 // input gradient is zero-shaped (token ids are not differentiable) but keeps
 // the pipeline's gradient message chain intact.
-func (e *Embedding) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (e *Embedding) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*embedCache)
 	dTok, dPos := e.Tok.Grad.Data(), e.Pos.Grad.Data()
 	for i, id := range c.ids {
@@ -89,7 +98,9 @@ func (e *Embedding) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 			pv[j] += g[j]
 		}
 	}
-	return tensor.New(len(c.ids), 1)
+	dx := a.GetZeroed(len(c.ids), 1)
+	embedCaches.Put(c)
+	return dx
 }
 
 // Params returns the token and positional tables.
@@ -124,42 +135,52 @@ type blockCache struct {
 	cLN1, cAttn, cLN2, cFC1, cGELU, cFC2 any
 }
 
+var blockCaches parallel.Pool[blockCache]
+
 // Forward runs attention and MLP sublayers with residual connections.
-func (t *TransformerBlock) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	u, cLN1 := t.LN1.Forward(x, train)
-	att, cAttn := t.Attn.Forward(u, train)
-	h := x.Clone()
+func (t *TransformerBlock) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	u, cLN1 := t.LN1.Forward(a, x, train)
+	att, cAttn := t.Attn.Forward(a, u, train)
+	h := a.Get(x.Shape()...)
+	h.CopyFrom(x)
 	tensor.Add(h, att)
 
-	v, cLN2 := t.LN2.Forward(h, train)
-	m1, cFC1 := t.FC1.Forward(v, train)
+	v, cLN2 := t.LN2.Forward(a, h, train)
+	m1, cFC1 := t.FC1.Forward(a, v, train)
 	var g GELULayer
-	m2, cGELU := g.Forward(m1, train)
-	m3, cFC2 := t.FC2.Forward(m2, train)
-	y := h.Clone()
+	m2, cGELU := g.Forward(a, m1, train)
+	m3, cFC2 := t.FC2.Forward(a, m2, train)
+	y := a.Get(h.Shape()...)
+	y.CopyFrom(h)
 	tensor.Add(y, m3)
 	if !train {
 		return y, nil
 	}
-	return y, &blockCache{cLN1: cLN1, cAttn: cAttn, cLN2: cLN2, cFC1: cFC1, cGELU: cGELU, cFC2: cFC2}
+	c := blockCaches.Get()
+	c.cLN1, c.cAttn, c.cLN2, c.cFC1, c.cGELU, c.cFC2 = cLN1, cAttn, cLN2, cFC1, cGELU, cFC2
+	return y, c
 }
 
 // Backward reverses both sublayers, summing residual gradients.
-func (t *TransformerBlock) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (t *TransformerBlock) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*blockCache)
 	// MLP path.
-	g := t.FC2.Backward(c.cFC2, gradOut)
+	g := t.FC2.Backward(a, c.cFC2, gradOut)
 	var gl GELULayer
-	g = gl.Backward(c.cGELU, g)
-	g = t.FC1.Backward(c.cFC1, g)
-	g = t.LN2.Backward(c.cLN2, g)
-	dh := gradOut.Clone()
+	g = gl.Backward(a, c.cGELU, g)
+	g = t.FC1.Backward(a, c.cFC1, g)
+	g = t.LN2.Backward(a, c.cLN2, g)
+	dh := a.Get(gradOut.Shape()...)
+	dh.CopyFrom(gradOut)
 	tensor.Add(dh, g)
 	// Attention path.
-	g = t.Attn.Backward(c.cAttn, dh)
-	g = t.LN1.Backward(c.cLN1, g)
-	dx := dh.Clone()
+	g = t.Attn.Backward(a, c.cAttn, dh)
+	g = t.LN1.Backward(a, c.cLN1, g)
+	dx := a.Get(dh.Shape()...)
+	dx.CopyFrom(dh)
 	tensor.Add(dx, g)
+	c.cLN1, c.cAttn, c.cLN2, c.cFC1, c.cGELU, c.cFC2 = nil, nil, nil, nil, nil, nil
+	blockCaches.Put(c)
 	return dx
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -28,26 +29,36 @@ func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
 
 type linearCache struct{ x *tensor.Tensor }
 
+var linearCaches parallel.Pool[linearCache]
+
 // Forward computes y = x·W + b for x of shape (n, in).
-func (l *Linear) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (l *Linear) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 2 || x.Dim(1) != l.in {
 		panic(fmt.Sprintf("nn: Linear(%d,%d) got input %v", l.in, l.out, x.Shape()))
 	}
-	y := tensor.MatMul(x, l.W.Value)
+	y := a.Get(x.Dim(0), l.out)
+	tensor.MatMulInto(y, x, l.W.Value, false)
 	tensor.AddBias(y, l.B.Value)
 	if !train {
 		return y, nil
 	}
-	return y, &linearCache{x: x}
+	c := linearCaches.Get()
+	c.x = x
+	return y, c
 }
 
 // Backward computes dW += xᵀ·dy, db += Σrows dy, and returns dx = dy·Wᵀ.
-func (l *Linear) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+// Parameter gradients accumulate directly into the Grad tensors (no
+// temporaries).
+func (l *Linear) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*linearCache)
-	dW := tensor.TMatMul(c.x, gradOut)
-	tensor.Add(l.W.Grad, dW)
-	tensor.Add(l.B.Grad, tensor.SumRows(gradOut))
-	return tensor.MatMulT(gradOut, l.W.Value)
+	tensor.TMatMulInto(l.W.Grad, c.x, gradOut, true)
+	tensor.SumRowsInto(l.B.Grad, gradOut, true)
+	dx := a.Get(gradOut.Dim(0), l.in)
+	tensor.MatMulTInto(dx, gradOut, l.W.Value, false)
+	c.x = nil
+	linearCaches.Put(c)
+	return dx
 }
 
 // Params returns the weight and bias.
@@ -57,18 +68,22 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 type ReLULayer struct{}
 
 // Forward clamps negatives to zero, caching the activation mask.
-func (ReLULayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	y := x.Clone()
-	mask := tensor.ReLU(y)
+func (ReLULayer) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y := a.Get(x.Shape()...)
+	y.CopyFrom(x)
 	if !train {
+		tensor.ReLUInPlace(y)
 		return y, nil
 	}
+	mask := a.Get(x.Shape()...)
+	tensor.ReLUWithMask(y, mask)
 	return y, mask
 }
 
 // Backward zeroes gradient where the input was negative.
-func (ReLULayer) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
-	g := gradOut.Clone()
+func (ReLULayer) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	g := a.Get(gradOut.Shape()...)
+	g.CopyFrom(gradOut)
 	tensor.Mul(g, cache.(*tensor.Tensor))
 	return g
 }
@@ -80,18 +95,22 @@ func (ReLULayer) Params() []*Param { return nil }
 type GELULayer struct{}
 
 // Forward applies GELU, caching pre-activations.
-func (GELULayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	y := x.Clone()
-	pre := tensor.GELU(y)
+func (GELULayer) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y := a.Get(x.Shape()...)
+	y.CopyFrom(x)
 	if !train {
+		tensor.GELUInPlace(y)
 		return y, nil
 	}
+	pre := a.Get(x.Shape()...)
+	tensor.GELUWithPre(y, pre)
 	return y, pre
 }
 
 // Backward multiplies by dGELU/dx at the cached pre-activations.
-func (GELULayer) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
-	g := gradOut.Clone()
+func (GELULayer) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	g := a.Get(gradOut.Shape()...)
+	g.CopyFrom(gradOut)
 	tensor.GELUBackward(g, cache.(*tensor.Tensor))
 	return g
 }
@@ -102,14 +121,31 @@ func (GELULayer) Params() []*Param { return nil }
 // Flatten reshapes (n, ...) to (n, rest), the CNN-to-classifier bridge.
 type Flatten struct{}
 
-// Forward flattens all but the leading dimension.
-func (Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	return x.Reshape(x.Dim(0), -1), x.Shape()
+type flattenCache struct{ shape []int }
+
+var flattenCaches parallel.Pool[flattenCache]
+
+// Forward flattens all but the leading dimension (a view: no copy).
+func (Flatten) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	rest := 1
+	for _, d := range x.Shape()[1:] {
+		rest *= d
+	}
+	y := a.ViewOf(x, x.Dim(0), rest)
+	if !train {
+		return y, nil
+	}
+	c := flattenCaches.Get()
+	c.shape = append(c.shape[:0], x.Shape()...)
+	return y, c
 }
 
-// Backward restores the original shape.
-func (Flatten) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
-	return gradOut.Reshape(cache.([]int)...)
+// Backward restores the original shape (a view: no copy).
+func (Flatten) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*flattenCache)
+	g := a.ViewOf(gradOut, c.shape...)
+	flattenCaches.Put(c)
+	return g
 }
 
 // Params returns nil: Flatten has no parameters.

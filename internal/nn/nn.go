@@ -16,6 +16,10 @@ import (
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
+// Layer cache structs recycle through parallel.Pool free lists, so
+// steady-state forward/backward passes allocate no cache objects: Forward
+// pops, Backward pushes back (see parallel.Pool for why not a sync.Pool).
+
 // Param is one learnable tensor with its gradient accumulator. Value is the
 // tensor the forward/backward kernels read (θ16's dense stand-in — under
 // mixed precision it holds fp16-quantized values); Grad accumulates across
@@ -44,9 +48,17 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // Layer is a differentiable module. Forward computes the output and an
 // opaque cache; Backward consumes the cache, accumulates parameter
 // gradients into Params().Grad, and returns the gradient w.r.t. the input.
+//
+// The arena supplies activation/gradient/scratch tensors so steady-state
+// training steps allocate nothing; it may be nil, in which case layers fall
+// back to plain heap allocation (tests and one-off evaluations use this).
+// The caller owns the arena's lifetime: tensors returned by Forward and the
+// cache contents become invalid at the caller's next Arena.Reset, after the
+// optimizer step that consumed them. Backward consumes the cache exactly
+// once (cache structs are recycled through per-type pools).
 type Layer interface {
-	Forward(x *tensor.Tensor, train bool) (y *tensor.Tensor, cache any)
-	Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor
+	Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (y *tensor.Tensor, cache any)
+	Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor
 	Params() []*Param
 }
 
@@ -55,15 +67,20 @@ type Layer interface {
 type Model struct {
 	Name   string
 	Layers []Layer
+
+	params []*Param // memoized by Params
 }
 
-// Params returns all parameters in layer order.
+// Params returns all parameters in layer order. The result is memoized
+// (gradient capture and ZeroGrads call it every step and must not
+// allocate); the layer list must not change after the first call.
 func (m *Model) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.Layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
 // NumParams returns the total parameter count φ.
@@ -85,10 +102,20 @@ func (m *Model) ZeroGrads() {
 // Forward runs all layers, returning the output and per-layer caches.
 func (m *Model) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, []any) {
 	caches := make([]any, len(m.Layers))
-	for i, l := range m.Layers {
-		x, caches[i] = l.Forward(x, train)
+	return m.ForwardArena(nil, x, train, caches), caches
+}
+
+// ForwardArena runs all layers with tensors drawn from the arena, writing
+// per-layer caches into the caller-provided slice (len = number of layers)
+// so the steady-state forward pass allocates nothing.
+func (m *Model) ForwardArena(a *tensor.Arena, x *tensor.Tensor, train bool, caches []any) *tensor.Tensor {
+	if len(caches) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d cache slots for %d layers", len(caches), len(m.Layers)))
 	}
-	return x, caches
+	for i, l := range m.Layers {
+		x, caches[i] = l.Forward(a, x, train)
+	}
+	return x
 }
 
 // GradHook is called after each layer's backward pass with that layer's
@@ -99,12 +126,18 @@ type GradHook func(layer Layer)
 // Backward runs the reverse pass from the output gradient, invoking hook (if
 // non-nil) after each layer. Returns the gradient w.r.t. the model input.
 func (m *Model) Backward(caches []any, gradOut *tensor.Tensor, hook GradHook) *tensor.Tensor {
+	return m.BackwardArena(nil, caches, gradOut, hook)
+}
+
+// BackwardArena is Backward with intermediate gradients drawn from the
+// arena (they are reclaimed wholesale at the caller's next Reset).
+func (m *Model) BackwardArena(a *tensor.Arena, caches []any, gradOut *tensor.Tensor, hook GradHook) *tensor.Tensor {
 	if len(caches) != len(m.Layers) {
 		panic(fmt.Sprintf("nn: %d caches for %d layers", len(caches), len(m.Layers)))
 	}
 	g := gradOut
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		g = m.Layers[i].Backward(caches[i], g)
+		g = m.Layers[i].Backward(a, caches[i], g)
 		if hook != nil {
 			hook(m.Layers[i])
 		}
@@ -143,11 +176,17 @@ func Prunable(p *Param) bool { return p.Value.Rank() >= 2 && !p.NoPrune }
 // counted targets, so microbatch gradients sum to the batch gradient after
 // scaling by microbatch count (the engine handles that normalization).
 func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	return CrossEntropyArena(nil, logits, targets)
+}
+
+// CrossEntropyArena is CrossEntropy with the gradient tensor drawn from the
+// arena (nil falls back to heap allocation).
+func CrossEntropyArena(a *tensor.Arena, logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
 	if logits.Rank() != 2 || logits.Dim(0) != len(targets) {
 		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs %d targets", logits.Shape(), len(targets)))
 	}
 	n, v := logits.Dim(0), logits.Dim(1)
-	grad := tensor.New(n, v)
+	grad := a.GetZeroed(n, v)
 	var loss float64
 	counted := 0
 	for i := 0; i < n; i++ {

@@ -18,7 +18,7 @@ func gradCheck(t *testing.T, name string, l Layer, x *tensor.Tensor, seed uint64
 	t.Helper()
 	rng := tensor.NewRNG(seed)
 
-	forward := func() (*tensor.Tensor, any) { return l.Forward(x, true) }
+	forward := func() (*tensor.Tensor, any) { return l.Forward(nil, x, true) }
 	y0, cache := forward()
 	r := tensor.New(y0.Shape()...)
 	tensor.FillNormal(r, 1, rng)
@@ -26,10 +26,10 @@ func gradCheck(t *testing.T, name string, l Layer, x *tensor.Tensor, seed uint64
 	for _, p := range l.Params() {
 		p.ZeroGrad()
 	}
-	dx := l.Backward(cache, r)
+	dx := l.Backward(nil, cache, r)
 
 	lossAt := func() float64 {
-		y, _ := l.Forward(x, true)
+		y, _ := l.Forward(nil, x, true)
 		return scalarLoss(y, r)
 	}
 
@@ -145,12 +145,12 @@ func TestResidualBlockGradients(t *testing.T) {
 func TestEmbeddingGradients(t *testing.T) {
 	e := NewEmbedding("emb", 11, 3, 6, tensor.NewRNG(31))
 	x := TokensToTensor([]int{1, 5, 10, 0, 2, 7}) // batch 2 × seq 3
-	y, cache := e.Forward(x, true)
+	y, cache := e.Forward(nil, x, true)
 	r := tensor.New(y.Shape()...)
 	tensor.FillNormal(r, 1, tensor.NewRNG(32))
 	e.Tok.ZeroGrad()
 	e.Pos.ZeroGrad()
-	e.Backward(cache, r)
+	e.Backward(nil, cache, r)
 	// Token 5 appears once at position 1: its grad row equals r's row 1.
 	d := 6
 	for j := 0; j < d; j++ {
@@ -171,12 +171,12 @@ func TestCausalityOfAttention(t *testing.T) {
 	// Changing a future token must not affect earlier outputs.
 	a := NewCausalSelfAttention("attn", 8, 2, 4, tensor.NewRNG(33))
 	x := randInput([]int{4, 8}, 34) // batch 1 × seq 4
-	y1, _ := a.Forward(x, false)
+	y1, _ := a.Forward(nil, x, false)
 	x2 := x.Clone()
 	for j := 0; j < 8; j++ {
 		x2.Set(x2.At(3, j)+5, 3, j) // perturb last position
 	}
-	y2, _ := a.Forward(x2, false)
+	y2, _ := a.Forward(nil, x2, false)
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 8; j++ {
 			if y1.At(i, j) != y2.At(i, j) {

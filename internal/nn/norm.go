@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -29,15 +30,22 @@ type lnCache struct {
 	invStd []float32
 }
 
+var lnCaches parallel.Pool[lnCache]
+
 // Forward normalizes rows and applies γ,β.
-func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (ln *LayerNorm) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 2 || x.Dim(1) != ln.d {
 		panic(fmt.Sprintf("nn: LayerNorm(%d) got input %v", ln.d, x.Shape()))
 	}
 	n, d := x.Dim(0), ln.d
-	y := tensor.New(n, d)
-	xhat := tensor.New(n, d)
-	invStd := make([]float32, n)
+	y := a.Get(n, d)
+	c := lnCaches.Get()
+	c.xhat = a.Get(n, d)
+	if cap(c.invStd) < n {
+		c.invStd = make([]float32, n)
+	}
+	c.invStd = c.invStd[:n]
+	xhat, invStd := c.xhat, c.invStd
 	g, b := ln.Gamma.Value.Data(), ln.Beta.Value.Data()
 	for i := 0; i < n; i++ {
 		row := x.Data()[i*d : (i+1)*d]
@@ -63,17 +71,19 @@ func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any)
 		}
 	}
 	if !train {
+		c.xhat = nil
+		lnCaches.Put(c)
 		return y, nil
 	}
-	return y, &lnCache{xhat: xhat, invStd: invStd}
+	return y, c
 }
 
 // Backward computes input, γ and β gradients with the standard LayerNorm
 // backward identity.
-func (ln *LayerNorm) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (ln *LayerNorm) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*lnCache)
 	n, d := gradOut.Dim(0), ln.d
-	dx := tensor.New(n, d)
+	dx := a.Get(n, d)
 	g := ln.Gamma.Value.Data()
 	dg, db := ln.Gamma.Grad.Data(), ln.Beta.Grad.Data()
 	for i := 0; i < n; i++ {
@@ -96,6 +106,8 @@ func (ln *LayerNorm) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor 
 			out[j] = float32((dxh - m1 - float64(xh[j])*m2)) * c.invStd[i]
 		}
 	}
+	c.xhat = nil
+	lnCaches.Put(c)
 	return dx
 }
 
@@ -131,16 +143,18 @@ type bnCache struct {
 	invStd []float32
 }
 
+var bnCaches parallel.Pool[bnCache]
+
 // Forward normalizes each channel using batch statistics (training) or
 // running statistics (eval).
-func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (bn *BatchNorm2d) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	if x.Rank() != 4 || x.Dim(1) != bn.c {
 		panic(fmt.Sprintf("nn: BatchNorm2d(%d) got input %v", bn.c, x.Shape()))
 	}
 	n, c, h, w := x.Dim(0), bn.c, x.Dim(2), x.Dim(3)
 	hw := h * w
 	cnt := float64(n * hw)
-	y := tensor.New(x.Shape()...)
+	y := a.Get(x.Shape()...)
 	g, b := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 
 	if !train {
@@ -157,8 +171,13 @@ func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, an
 		return y, nil
 	}
 
-	xhat := tensor.New(x.Shape()...)
-	invStd := make([]float32, c)
+	cc := bnCaches.Get()
+	cc.xhat = a.Get(x.Shape()...)
+	if cap(cc.invStd) < c {
+		cc.invStd = make([]float32, c)
+	}
+	cc.invStd = cc.invStd[:c]
+	xhat, invStd := cc.xhat, cc.invStd
 	for ch := 0; ch < c; ch++ {
 		var mean float64
 		for img := 0; img < n; img++ {
@@ -190,16 +209,16 @@ func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, an
 			}
 		}
 	}
-	return y, &bnCache{xhat: xhat, invStd: invStd}
+	return y, cc
 }
 
 // Backward computes input and affine gradients from batch statistics.
-func (bn *BatchNorm2d) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+func (bn *BatchNorm2d) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := cache.(*bnCache)
 	n, c := gradOut.Dim(0), bn.c
 	hw := gradOut.Dim(2) * gradOut.Dim(3)
 	cnt := float64(n * hw)
-	dx := tensor.New(gradOut.Shape()...)
+	dx := a.Get(gradOut.Shape()...)
 	g := bn.Gamma.Value.Data()
 	dg, db := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
 	for ch := 0; ch < c; ch++ {
@@ -226,6 +245,8 @@ func (bn *BatchNorm2d) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tenso
 			}
 		}
 	}
+	cc.xhat = nil
+	bnCaches.Put(cc)
 	return dx
 }
 

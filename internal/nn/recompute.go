@@ -1,6 +1,9 @@
 package nn
 
-import "github.com/sparse-dl/samo/internal/tensor"
+import (
+	"github.com/sparse-dl/samo/internal/parallel"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
 
 // Recompute wraps a layer with activation checkpointing (Chen et al.,
 // "Training Deep Nets with Sublinear Memory Cost"), which AxoNN enables for
@@ -32,22 +35,29 @@ type recomputeCache struct {
 	x *tensor.Tensor
 }
 
+var recomputeCaches parallel.Pool[recomputeCache]
+
 // Forward runs the inner layer and discards its cache, keeping only the
 // input.
-func (r Recompute) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	y, _ := r.Inner.Forward(x, false) // eval-mode forward: no cache is built
+func (r Recompute) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	y, _ := r.Inner.Forward(a, x, false) // eval-mode forward: no cache is built
 	if !train {
 		return y, nil
 	}
-	return y, &recomputeCache{x: x}
+	c := recomputeCaches.Get()
+	c.x = x
+	return y, c
 }
 
 // Backward re-runs the inner forward in training mode to rebuild the cache,
-// then differentiates through it.
-func (r Recompute) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+// then differentiates through it. The recomputed activations come from the
+// same arena and are reclaimed at the caller's next Reset.
+func (r Recompute) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*recomputeCache)
-	_, inner := r.Inner.Forward(c.x, true)
-	return r.Inner.Backward(inner, gradOut)
+	_, inner := r.Inner.Forward(a, c.x, true)
+	c.x = nil
+	recomputeCaches.Put(c)
+	return r.Inner.Backward(a, inner, gradOut)
 }
 
 // Params exposes the inner layer's parameters.
@@ -67,7 +77,7 @@ func CacheBytes(cache any) int64 {
 	case *lnCache:
 		return 4 * (int64(c.xhat.Len()) + int64(len(c.invStd)))
 	case *attnCache:
-		return 4 * (int64(c.x.Len()) + int64(c.qkv.Len()) + int64(len(c.probs)) + int64(c.heads.Len()))
+		return 4 * (int64(c.x.Len()) + int64(c.qkv.Len()) + int64(c.probs.Len()) + int64(c.heads.Len()))
 	case *blockCache:
 		return CacheBytes(c.cLN1) + CacheBytes(c.cAttn) + CacheBytes(c.cLN2) +
 			CacheBytes(c.cFC1) + CacheBytes(c.cGELU) + CacheBytes(c.cFC2)

@@ -19,16 +19,16 @@ func TestRecomputeMatchesPlainGradients(t *testing.T) {
 	for _, p := range plain.Params() {
 		p.ZeroGrad()
 	}
-	yP, cP := plain.Forward(x, true)
-	dxP := plain.Backward(cP, gy)
+	yP, cP := plain.Forward(nil, x, true)
+	dxP := plain.Backward(nil, cP, gy)
 	gradsP := make([]*tensor.Tensor, 0)
 	for _, p := range plain.Params() {
 		gradsP = append(gradsP, p.Grad.Clone())
 		p.ZeroGrad()
 	}
 
-	yW, cW := wrapped.Forward(x, true)
-	dxW := wrapped.Backward(cW, gy)
+	yW, cW := wrapped.Forward(nil, x, true)
+	dxW := wrapped.Backward(nil, cW, gy)
 
 	if d := tensor.MaxAbsDiff(yP, yW); d != 0 {
 		t.Errorf("forward outputs differ: %g", d)
@@ -49,8 +49,8 @@ func TestRecomputeShrinksCache(t *testing.T) {
 	wrapped := Recompute{Inner: plain}
 	x := randInput([]int{16, 16}, 94)
 
-	_, cP := plain.Forward(x, true)
-	_, cW := wrapped.Forward(x, true)
+	_, cP := plain.Forward(nil, x, true)
+	_, cW := wrapped.Forward(nil, x, true)
 	full := CacheBytes(cP)
 	check := CacheBytes(cW)
 	if check >= full {
@@ -98,7 +98,7 @@ func TestWithRecomputeWholeModel(t *testing.T) {
 func TestRecomputeEvalMode(t *testing.T) {
 	rng := tensor.NewRNG(97)
 	l := Recompute{Inner: NewLinear("fc", 4, 3, rng)}
-	y, cache := l.Forward(randInput([]int{2, 4}, 98), false)
+	y, cache := l.Forward(nil, randInput([]int{2, 4}, 98), false)
 	if cache != nil {
 		t.Error("eval mode must not cache")
 	}

@@ -1,0 +1,34 @@
+package sparse
+
+import (
+	"testing"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// TestCompressExpandZeroAlloc pins the perf contract on SAMO's two
+// primitives: they run on every layer's gradient every microbatch, so they
+// must not allocate in steady state (pooled parallel dispatch only).
+func TestCompressExpandZeroAlloc(t *testing.T) {
+	const n = 1 << 18
+	mask := NewMask(n)
+	rng := tensor.NewRNG(11)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			mask.Set(i)
+		}
+	}
+	ix := NewIndex(mask)
+	dense := make([]float32, n)
+	comp := make([]float32, ix.NNZ())
+	// Warm the job free list and the worker pool.
+	ix.Compress(comp, dense)
+	ix.Expand(dense, comp)
+
+	if a := testing.AllocsPerRun(50, func() { ix.Compress(comp, dense) }); a != 0 {
+		t.Fatalf("Compress allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { ix.Expand(dense, comp) }); a != 0 {
+		t.Fatalf("Expand allocates %.1f per call, want 0", a)
+	}
+}

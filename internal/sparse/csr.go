@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 
+	"github.com/sparse-dl/samo/internal/parallel"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -90,16 +91,19 @@ func (m *CSR) SpMM(b *tensor.Tensor) *tensor.Tensor {
 	n := b.Dim(1)
 	c := tensor.New(m.Rows, n)
 	bd, cd := b.Data(), c.Data()
-	for i := 0; i < m.Rows; i++ {
-		ci := cd[i*n : (i+1)*n]
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			v := m.Val[p]
-			bk := bd[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
-			for j := range bk {
-				ci[j] += v * bk[j]
+	// Parallel over output rows: each worker owns disjoint C rows.
+	parallel.For(m.Rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				bk := bd[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
+				for j := range bk {
+					ci[j] += v * bk[j]
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -117,17 +121,21 @@ func (m *CSR) SDDMM(a, b *tensor.Tensor) *CSR {
 		ColIdx: append([]int32(nil), m.ColIdx...),
 		Val:    make([]float32, len(m.Val))}
 	ad, bd := a.Data(), b.Data()
-	for i := 0; i < m.Rows; i++ {
-		ai := ad[i*k : (i+1)*k]
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			bj := bd[int(m.ColIdx[p])*k : int(m.ColIdx[p])*k+k]
-			var s float32
-			for x := range ai {
-				s += ai[x] * bj[x]
+	// Parallel over rows: each row's value range [RowPtr[i], RowPtr[i+1]) is
+	// disjoint, so workers write disjoint slices of out.Val.
+	parallel.For(m.Rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				bj := bd[int(m.ColIdx[p])*k : int(m.ColIdx[p])*k+k]
+				var s float32
+				for x := range ai {
+					s += ai[x] * bj[x]
+				}
+				out.Val[p] = s
 			}
-			out.Val[p] = s
 		}
-	}
+	})
 	return out
 }
 

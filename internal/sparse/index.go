@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/sparse-dl/samo/internal/fp16"
+	"github.com/sparse-dl/samo/internal/parallel"
 )
 
 // Index is the shared, linearized non-zero index tensor of one layer
@@ -52,9 +53,54 @@ func (ix *Index) IDs() []int32 { return ix.ids }
 // non-zero (the 4fφ term of the paper's memory model).
 func (ix *Index) Bytes() int64 { return int64(len(ix.ids)) * 4 }
 
+// ixJob carries a compress/expand call's arguments to the worker pool.
+// Recycled through a parallel.Pool so the calls stay allocation-free (they
+// sit on the per-layer gradient-capture path, run once per microbatch).
+type ixJob struct {
+	ids        []int32
+	dst, dense []float32
+}
+
+var ixJobFree parallel.Pool[ixJob]
+
+func getIxJob() *ixJob { return ixJobFree.Get() }
+
+func putIxJob(j *ixJob) {
+	j.ids, j.dst, j.dense = nil, nil, nil
+	ixJobFree.Put(j)
+}
+
+// ixGrain is the minimum elements per parallel chunk for gather/scatter
+// loops (they are memory-bound; small chunks are all dispatch overhead).
+const ixGrain = 16384
+
+func compressChunk(ctx any, lo, hi int) {
+	j := ctx.(*ixJob)
+	ids, dst, dense := j.ids, j.dst, j.dense
+	for i := lo; i < hi; i++ {
+		dst[i] = dense[ids[i]]
+	}
+}
+
+func zeroChunk(ctx any, lo, hi int) {
+	d := ctx.(*ixJob).dense
+	for i := lo; i < hi; i++ {
+		d[i] = 0
+	}
+}
+
+func expandChunk(ctx any, lo, hi int) {
+	j := ctx.(*ixJob)
+	ids, dst, dense := j.ids, j.dst, j.dense
+	for i := lo; i < hi; i++ {
+		dense[ids[i]] = dst[i]
+	}
+}
+
 // Compress gathers the unpruned elements of a dense 1-D view into dst,
 // which must have NNZ capacity. This is the operation applied to gradients
-// at layer granularity during the backward pass.
+// at layer granularity during the backward pass. The gather is parallel
+// (disjoint dst ranges) and allocation-free.
 func (ix *Index) Compress(dst, dense []float32) {
 	if len(dense) != ix.full {
 		panic(fmt.Sprintf("sparse: Compress dense length %d, want %d", len(dense), ix.full))
@@ -62,14 +108,17 @@ func (ix *Index) Compress(dst, dense []float32) {
 	if len(dst) != len(ix.ids) {
 		panic(fmt.Sprintf("sparse: Compress dst length %d, want %d", len(dst), len(ix.ids)))
 	}
-	for i, id := range ix.ids {
-		dst[i] = dense[id]
-	}
+	j := getIxJob()
+	j.ids, j.dst, j.dense = ix.ids, dst, dense
+	parallel.Run(len(ix.ids), ixGrain, j, compressChunk)
+	putIxJob(j)
 }
 
 // Expand scatters compressed values back into a dense 1-D view, filling
 // pruned positions with zero — the paper's "expansion" operation, the
-// inverse of compression, used in the optimizer's down-cast step.
+// inverse of compression, used in the optimizer's down-cast step. Both the
+// zero-fill and the scatter are parallel (ids are unique, so scatter writes
+// are disjoint) and allocation-free.
 func (ix *Index) Expand(dense, compressed []float32) {
 	if len(dense) != ix.full {
 		panic(fmt.Sprintf("sparse: Expand dense length %d, want %d", len(dense), ix.full))
@@ -77,12 +126,11 @@ func (ix *Index) Expand(dense, compressed []float32) {
 	if len(compressed) != len(ix.ids) {
 		panic(fmt.Sprintf("sparse: Expand compressed length %d, want %d", len(compressed), len(ix.ids)))
 	}
-	for i := range dense {
-		dense[i] = 0
-	}
-	for i, id := range ix.ids {
-		dense[id] = compressed[i]
-	}
+	j := getIxJob()
+	j.ids, j.dst, j.dense = ix.ids, compressed, dense
+	parallel.Run(len(dense), ixGrain, j, zeroChunk)
+	parallel.Run(len(ix.ids), ixGrain, j, expandChunk)
+	putIxJob(j)
 }
 
 // CompressHalf gathers unpruned elements of a dense half-precision view.

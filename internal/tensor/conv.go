@@ -24,6 +24,16 @@ func (s ConvSpec) OutW() int { return (s.InW+2*s.Pad-s.Kernel)/s.Stride + 1 }
 // the (inC·k·k, outC) weight matrix — the standard cuDNN-style lowering that
 // lets the forward pass reuse the dense kernel SAMO depends on.
 func Im2Col(in *Tensor, s ConvSpec) *Tensor {
+	n := in.shape[0]
+	oh, ow := s.OutH(), s.OutW()
+	cols := New(n*oh*ow, s.InC*s.Kernel*s.Kernel)
+	Im2ColInto(cols, in, s)
+	return cols
+}
+
+// Im2ColInto lowers in into an existing (n·outH·outW, inC·k·k) cols tensor
+// without allocating the output.
+func Im2ColInto(cols, in *Tensor, s ConvSpec) {
 	if in.Rank() != 4 {
 		panic("tensor: Im2Col requires NCHW rank-4 input")
 	}
@@ -33,7 +43,9 @@ func Im2Col(in *Tensor, s ConvSpec) *Tensor {
 	}
 	oh, ow := s.OutH(), s.OutW()
 	k := s.Kernel
-	cols := New(n*oh*ow, s.InC*k*k)
+	if cols.Len() != n*oh*ow*s.InC*k*k {
+		panic(fmt.Sprintf("tensor: Im2ColInto output has %d elements, want %d", cols.Len(), n*oh*ow*s.InC*k*k))
+	}
 	src := in.data
 	dst := cols.data
 	rowLen := s.InC * k * k
@@ -67,20 +79,29 @@ func Im2Col(in *Tensor, s ConvSpec) *Tensor {
 			}
 		}
 	})
-	return cols
 }
 
 // Col2Im scatter-adds a column matrix (as produced by Im2Col) back into an
 // NCHW gradient tensor of shape (n, inC, inH, inW) — the backward of the
 // lowering.
 func Col2Im(cols *Tensor, s ConvSpec, n int) *Tensor {
+	out := New(n, s.InC, s.InH, s.InW)
+	Col2ImInto(out, cols, s, n)
+	return out
+}
+
+// Col2ImInto scatter-adds a column matrix into an existing zeroed (or
+// accumulating) NCHW gradient tensor without allocating.
+func Col2ImInto(out, cols *Tensor, s ConvSpec, n int) {
 	oh, ow := s.OutH(), s.OutW()
 	k := s.Kernel
 	rowLen := s.InC * k * k
 	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Col2Im input %v does not match spec", cols.shape))
 	}
-	out := New(n, s.InC, s.InH, s.InW)
+	if out.Len() != n*s.InC*s.InH*s.InW {
+		panic("tensor: Col2ImInto output size mismatch")
+	}
 	src := cols.data
 	dst := out.data
 	// Serial over rows: output positions overlap across rows, so the scatter
@@ -108,7 +129,6 @@ func Col2Im(cols *Tensor, s ConvSpec, n int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool2x2 performs 2×2 max pooling with stride 2 on an NCHW tensor,
@@ -118,9 +138,23 @@ func MaxPool2x2(in *Tensor) (*Tensor, []int32) {
 		panic("tensor: MaxPool2x2 requires NCHW input")
 	}
 	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	oh, ow := h/2, w/2
-	out := New(n, c, oh, ow)
+	out := New(n, c, h/2, w/2)
 	arg := make([]int32, out.Len())
+	MaxPool2x2Into(out, arg, in)
+	return out, arg
+}
+
+// MaxPool2x2Into pools into an existing output tensor and argmax slice
+// (len = out.Len()) without allocating.
+func MaxPool2x2Into(out *Tensor, arg []int32, in *Tensor) {
+	if in.Rank() != 4 {
+		panic("tensor: MaxPool2x2 requires NCHW input")
+	}
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh, ow := h/2, w/2
+	if out.Len() != n*c*oh*ow || len(arg) != out.Len() {
+		panic("tensor: MaxPool2x2Into size mismatch")
+	}
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			inOff := (img*c + ch) * h * w
@@ -143,15 +177,20 @@ func MaxPool2x2(in *Tensor) (*Tensor, []int32) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool2x2Backward scatters grad back through the argmax indices into a
 // tensor with the given input shape.
 func MaxPool2x2Backward(grad *Tensor, arg []int32, inShape []int) *Tensor {
 	out := New(inShape...)
+	MaxPool2x2BackwardInto(out, grad, arg)
+	return out
+}
+
+// MaxPool2x2BackwardInto scatter-adds grad through the argmax indices into
+// an existing zeroed tensor of the pooled input's shape.
+func MaxPool2x2BackwardInto(out, grad *Tensor, arg []int32) {
 	for i, g := range grad.data {
 		out.data[arg[i]] += g
 	}
-	return out
 }

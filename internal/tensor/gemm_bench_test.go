@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sparse-dl/samo/internal/parallel"
+)
+
+// BenchmarkGEMM times the dense kernel at the paper's Figure 1 FC shapes
+// (batch 576, square weights): "seed" is the saxpy kernel the repository
+// started with, "packed" the blocked micro-kernel that replaced it. The
+// ratio between the two is the kernel-path speedup recorded in
+// BENCH_kernels.json.
+func BenchmarkGEMM(b *testing.B) {
+	const batch = 576
+	for _, dim := range []int{128, 256, 512, 1024} {
+		a, w, c := New(batch, dim), New(dim, dim), New(batch, dim)
+		rng := NewRNG(7)
+		fillSeq(a, rng)
+		fillSeq(w, rng)
+		flops := 2 * float64(batch) * float64(dim) * float64(dim)
+		run := func(fn func(ctx any, lo, hi int)) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					j := getGemmJob()
+					j.c, j.a, j.b = c.data, a.data, w.data
+					j.m, j.k, j.n = batch, dim, dim
+					j.accumulate = false
+					parallel.Run(batch, gemmGrain, j, fn)
+					putGemmJob(j)
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			}
+		}
+		b.Run(fmt.Sprintf("seed/%d", dim), run(gemmSaxpyChunk))
+		b.Run(fmt.Sprintf("packed/%d", dim), run(gemmPackedChunk))
+	}
+}
+
+// BenchmarkMatMulT and BenchmarkTMatMul time the transposed products used
+// by the backward passes at a representative gradient shape.
+func BenchmarkMatMulT(b *testing.B) {
+	a, w := New(576, 512), New(512, 512)
+	rng := NewRNG(8)
+	fillSeq(a, rng)
+	fillSeq(w, rng)
+	c := New(576, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulTInto(c, a, w, false)
+	}
+}
+
+func BenchmarkTMatMul(b *testing.B) {
+	x, g := New(576, 512), New(576, 512)
+	rng := NewRNG(9)
+	fillSeq(x, rng)
+	fillSeq(g, rng)
+	c := New(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TMatMulInto(c, x, g, false)
+	}
+}

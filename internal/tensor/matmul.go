@@ -1,12 +1,24 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
 
-// GEMM kernel block sizes, sized so a kc×nc panel of B plus an mc-row strip
-// of A stay L2-resident on commodity cores.
+	"github.com/sparse-dl/samo/internal/parallel"
+)
+
+// GEMM blocking parameters. A kc×nc panel of B is packed contiguously per
+// worker (kc·nc·4 = 128 KiB, L2-resident) and swept by a 4-row,
+// 2-k-unrolled register micro-kernel; mc-row strips of A stream from L1.
 const (
-	blockM = 64
-	blockK = 128
+	gemmKC = 256 // k-dimension block (panel height)
+	gemmNC = 128 // n-dimension block (panel width)
+	gemmMR = 4   // micro-kernel rows (A rows per strip)
+	// gemmGrain is the minimum C rows per parallel chunk.
+	gemmGrain = 8
+	// tiledKC blocks the k dimension of the transposed products so a 4-row
+	// A strip and 4-row B strip stay L1-resident.
+	tiledKC = 512
 )
 
 // MatMul computes C = A·B for A of shape (m,k) and B of shape (k,n),
@@ -21,7 +33,9 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes C = A·B into an existing (m,n) tensor, avoiding the
-// allocation. If accumulate is true it computes C += A·B.
+// allocation. If accumulate is true it computes C += A·B. The call is
+// allocation-free: kernel dispatch, panel packing and parallel fan-out all
+// run on pooled state.
 func MatMulInto(c, a, b *Tensor, accumulate bool) {
 	m, k, n := gemmDims(a, b)
 	if c.Len() != m*n {
@@ -42,42 +56,210 @@ func gemmDims(a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// gemm is a parallel, k-blocked, write-accumulating row-major GEMM using an
-// i-k-j loop order so the inner loop is a saxpy over contiguous rows of B
-// and C (good auto-vectorization, unit stride everywhere).
+// gemmJob carries one matrix product's arguments to the pool workers. Jobs
+// and packing buffers are recycled through parallel.Pool free lists so
+// kernel dispatch never allocates.
+type gemmJob struct {
+	c, a, b    []float32
+	m, k, n    int
+	accumulate bool
+}
+
+var gemmJobFree parallel.Pool[gemmJob]
+
+func getGemmJob() *gemmJob { return gemmJobFree.Get() }
+
+func putGemmJob(j *gemmJob) {
+	j.c, j.a, j.b = nil, nil, nil
+	gemmJobFree.Put(j)
+}
+
+var packFree struct {
+	mu   sync.Mutex
+	list [][]float32
+}
+
+func getPackBuf() []float32 {
+	packFree.mu.Lock()
+	l := len(packFree.list)
+	if l == 0 {
+		packFree.mu.Unlock()
+		return make([]float32, gemmKC*gemmNC)
+	}
+	b := packFree.list[l-1]
+	packFree.list = packFree.list[:l-1]
+	packFree.mu.Unlock()
+	return b
+}
+
+func putPackBuf(b []float32) {
+	packFree.mu.Lock()
+	packFree.list = append(packFree.list, b)
+	packFree.mu.Unlock()
+}
+
+// gemm dispatches C (+)= A·B over the worker pool. Large shapes take the
+// packed micro-kernel; small or skinny shapes fall back to the row-saxpy
+// kernel, whose per-row cost model fits them better.
 func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return
 	}
-	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	}
 	if k == 0 {
+		if !accumulate {
+			zeroSlice(c[:m*n])
+		}
 		return
 	}
-	// Parallelize over row blocks of A/C; each worker owns disjoint C rows.
-	parallelFor(m, blockM/4, func(lo, hi int) {
-		for i0 := lo; i0 < hi; i0 += blockM {
-			i1 := min(i0+blockM, hi)
-			for k0 := 0; k0 < k; k0 += blockK {
-				k1 := min(k0+blockK, k)
-				for i := i0; i < i1; i++ {
-					ci := c[i*n : (i+1)*n]
-					ai := a[i*k : (i+1)*k]
-					for kk := k0; kk < k1; kk++ {
-						av := ai[kk]
-						if av == 0 {
-							continue
-						}
-						bk := b[kk*n : kk*n+n]
-						saxpy(ci, bk, av)
+	j := getGemmJob()
+	j.c, j.a, j.b = c, a, b
+	j.m, j.k, j.n = m, k, n
+	j.accumulate = accumulate
+	if m >= gemmMR && n >= 16 && k >= 16 {
+		parallel.Run(m, gemmGrain, j, gemmPackedChunk)
+	} else {
+		parallel.Run(m, gemmGrain, j, gemmSaxpyChunk)
+	}
+	putGemmJob(j)
+}
+
+// gemmPackedChunk computes C rows [lo,hi) with the packed micro-kernel:
+// for each kc×nc panel of B, pack it contiguously, then sweep 4-row strips
+// of A with a 2-k-unrolled fused-axpy kernel. B is loaded once per 4 C rows
+// (the seed's saxpy loaded it once per row) and the packed panel streams
+// from one contiguous block, which is where the speedup comes from.
+func gemmPackedChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmJob)
+	c, a, b := g.c, g.a, g.b
+	k, n := g.k, g.n
+	if !g.accumulate {
+		zeroSlice(c[lo*n : hi*n])
+	}
+	pb := getPackBuf()
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := min(k0+gemmKC, k)
+		kcur := k1 - k0
+		for j0 := 0; j0 < n; j0 += gemmNC {
+			j1 := min(j0+gemmNC, n)
+			ncur := j1 - j0
+			// Pack the B panel: rows become adjacent (stride ncur, not n).
+			for kk := 0; kk < kcur; kk++ {
+				copy(pb[kk*ncur:kk*ncur+ncur], b[(k0+kk)*n+j0:(k0+kk)*n+j1])
+			}
+			i := lo
+			for ; i+gemmMR <= hi; i += gemmMR {
+				gemmMicro4(c, a, pb, i, k, n, k0, kcur, j0, ncur)
+			}
+			for ; i < hi; i++ {
+				gemmMicro1(c, a, pb, i, k, n, k0, kcur, j0, ncur)
+			}
+		}
+	}
+	putPackBuf(pb)
+}
+
+// gemmMicro4 updates C rows i..i+3, cols [j0,j0+ncur) from a packed B panel
+// of kcur rows. The 2-wide k unroll halves C read/write traffic per flop;
+// the four A scalars per k-step live in registers across the j loop.
+func gemmMicro4(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
+	ci0 := c[i*n+j0 : i*n+j0+ncur]
+	ci1 := c[(i+1)*n+j0 : (i+1)*n+j0+ncur]
+	ci2 := c[(i+2)*n+j0 : (i+2)*n+j0+ncur]
+	ci3 := c[(i+3)*n+j0 : (i+3)*n+j0+ncur]
+	ai0 := a[i*k+k0 : i*k+k0+kcur]
+	ai1 := a[(i+1)*k+k0 : (i+1)*k+k0+kcur]
+	ai2 := a[(i+2)*k+k0 : (i+2)*k+k0+kcur]
+	ai3 := a[(i+3)*k+k0 : (i+3)*k+k0+kcur]
+	kk := 0
+	for ; kk+2 <= kcur; kk += 2 {
+		b0 := pb[kk*ncur : kk*ncur+ncur]
+		b1 := pb[kk*ncur+ncur : kk*ncur+2*ncur]
+		a00, a01 := ai0[kk], ai0[kk+1]
+		a10, a11 := ai1[kk], ai1[kk+1]
+		a20, a21 := ai2[kk], ai2[kk+1]
+		a30, a31 := ai3[kk], ai3[kk+1]
+		_ = b1[len(b0)-1]
+		_ = ci0[len(b0)-1]
+		_ = ci1[len(b0)-1]
+		_ = ci2[len(b0)-1]
+		_ = ci3[len(b0)-1]
+		for j, v0 := range b0 {
+			v1 := b1[j]
+			ci0[j] += a00*v0 + a01*v1
+			ci1[j] += a10*v0 + a11*v1
+			ci2[j] += a20*v0 + a21*v1
+			ci3[j] += a30*v0 + a31*v1
+		}
+	}
+	if kk < kcur {
+		b0 := pb[kk*ncur : kk*ncur+ncur]
+		a0, a1, a2, a3 := ai0[kk], ai1[kk], ai2[kk], ai3[kk]
+		_ = ci0[len(b0)-1]
+		_ = ci1[len(b0)-1]
+		_ = ci2[len(b0)-1]
+		_ = ci3[len(b0)-1]
+		for j, v := range b0 {
+			ci0[j] += a0 * v
+			ci1[j] += a1 * v
+			ci2[j] += a2 * v
+			ci3[j] += a3 * v
+		}
+	}
+}
+
+// gemmMicro1 is the single-row remainder of gemmMicro4.
+func gemmMicro1(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
+	ci := c[i*n+j0 : i*n+j0+ncur]
+	ai := a[i*k+k0 : i*k+k0+kcur]
+	kk := 0
+	for ; kk+2 <= kcur; kk += 2 {
+		b0 := pb[kk*ncur : kk*ncur+ncur]
+		b1 := pb[kk*ncur+ncur : kk*ncur+2*ncur]
+		a0, a1 := ai[kk], ai[kk+1]
+		_ = b1[len(b0)-1]
+		_ = ci[len(b0)-1]
+		for j, v0 := range b0 {
+			ci[j] += a0*v0 + a1*b1[j]
+		}
+	}
+	if kk < kcur {
+		b0 := pb[kk*ncur : kk*ncur+ncur]
+		a0 := ai[kk]
+		_ = ci[len(b0)-1]
+		for j, v := range b0 {
+			ci[j] += a0 * v
+		}
+	}
+}
+
+// gemmSaxpyChunk is the seed kernel, kept for small/skinny shapes (and as
+// the benchmark baseline): k-blocked i-k-j loops whose inner loop is a
+// saxpy over contiguous rows of B and C.
+func gemmSaxpyChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmJob)
+	c, a, b := g.c, g.a, g.b
+	k, n := g.k, g.n
+	if !g.accumulate {
+		zeroSlice(c[lo*n : hi*n])
+	}
+	const blockM, blockK = 64, 128
+	for i0 := lo; i0 < hi; i0 += blockM {
+		i1 := min(i0+blockM, hi)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := min(k0+blockK, k)
+			for i := i0; i < i1; i++ {
+				ci := c[i*n : (i+1)*n]
+				ai := a[i*k : (i+1)*k]
+				for kk := k0; kk < k1; kk++ {
+					av := ai[kk]
+					if av == 0 {
+						continue
 					}
+					saxpy(ci, b[kk*n:kk*n+n], av)
 				}
 			}
 		}
-	})
+	}
 }
 
 // saxpy computes ci += av * bk elementwise; split out so the compiler keeps
@@ -89,61 +271,289 @@ func saxpy(ci, bk []float32, av float32) {
 	}
 }
 
+func zeroSlice(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // MatMulT computes C = A·Bᵀ for A (m,k) and B (n,k) without materializing
 // the transpose. Used for weight-gradient and input-gradient passes.
 func MatMulT(a, b *Tensor) *Tensor {
+	m, k, n := gemmTDims(a, b)
+	c := New(m, n)
+	gemmT(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulTInto computes C (+)= A·Bᵀ into an existing (m,n) tensor without
+// allocating.
+func MatMulTInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := gemmTDims(a, b)
+	if c.Len() != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTInto output has %d elements, want %d", c.Len(), m*n))
+	}
+	gemmT(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func gemmTDims(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT requires rank-2 tensors")
 	}
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
+	m, k = a.shape[0], a.shape[1]
+	n = b.shape[0]
 	if b.shape[1] != k {
 		panic(fmt.Sprintf("tensor: MatMulT inner dimensions %d and %d differ", k, b.shape[1]))
 	}
-	c := New(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	parallelFor(m, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := ad[i*k : (i+1)*k]
-			ci := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := bd[j*k : j*k+k]
-				ci[j] = dot(ai, bj)
+	return m, k, n
+}
+
+func gemmT(c, a, b []float32, m, k, n int, accumulate bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !accumulate {
+			zeroSlice(c[:m*n])
+		}
+		return
+	}
+	j := getGemmJob()
+	j.c, j.a, j.b = c, a, b
+	j.m, j.k, j.n = m, k, n
+	j.accumulate = accumulate
+	parallel.Run(m, gemmGrain, j, gemmTChunk)
+	putGemmJob(j)
+}
+
+// gemmTChunk computes C rows [lo,hi) of C = A·Bᵀ with 4×4 register tiles:
+// both operands are read along contiguous k-rows, 16 fused multiply-adds
+// per 8 loads (the seed's dot kernel did 1 per 2). k is blocked so the
+// four A rows and four B rows of a tile stay L1-resident.
+func gemmTChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmJob)
+	c, a, b := g.c, g.a, g.b
+	k, n := g.k, g.n
+	if !g.accumulate {
+		zeroSlice(c[lo*n : hi*n])
+	}
+	for k0 := 0; k0 < k; k0 += tiledKC {
+		k1 := min(k0+tiledKC, k)
+		kcur := k1 - k0
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			ai0 := a[i*k+k0 : i*k+k0+kcur]
+			ai1 := a[(i+1)*k+k0 : (i+1)*k+k0+kcur]
+			ai2 := a[(i+2)*k+k0 : (i+2)*k+k0+kcur]
+			ai3 := a[(i+3)*k+k0 : (i+3)*k+k0+kcur]
+			jj := 0
+			for ; jj+4 <= n; jj += 4 {
+				bj0 := b[jj*k+k0 : jj*k+k0+kcur]
+				bj1 := b[(jj+1)*k+k0 : (jj+1)*k+k0+kcur]
+				bj2 := b[(jj+2)*k+k0 : (jj+2)*k+k0+kcur]
+				bj3 := b[(jj+3)*k+k0 : (jj+3)*k+k0+kcur]
+				var s00, s01, s02, s03 float32
+				var s10, s11, s12, s13 float32
+				var s20, s21, s22, s23 float32
+				var s30, s31, s32, s33 float32
+				_ = bj0[len(ai0)-1]
+				_ = bj1[len(ai0)-1]
+				_ = bj2[len(ai0)-1]
+				_ = bj3[len(ai0)-1]
+				_ = ai1[len(ai0)-1]
+				_ = ai2[len(ai0)-1]
+				_ = ai3[len(ai0)-1]
+				for kk, a0 := range ai0 {
+					b0, b1, b2, b3 := bj0[kk], bj1[kk], bj2[kk], bj3[kk]
+					a1, a2, a3 := ai1[kk], ai2[kk], ai3[kk]
+					s00 += a0 * b0
+					s01 += a0 * b1
+					s02 += a0 * b2
+					s03 += a0 * b3
+					s10 += a1 * b0
+					s11 += a1 * b1
+					s12 += a1 * b2
+					s13 += a1 * b3
+					s20 += a2 * b0
+					s21 += a2 * b1
+					s22 += a2 * b2
+					s23 += a2 * b3
+					s30 += a3 * b0
+					s31 += a3 * b1
+					s32 += a3 * b2
+					s33 += a3 * b3
+				}
+				c[i*n+jj] += s00
+				c[i*n+jj+1] += s01
+				c[i*n+jj+2] += s02
+				c[i*n+jj+3] += s03
+				c[(i+1)*n+jj] += s10
+				c[(i+1)*n+jj+1] += s11
+				c[(i+1)*n+jj+2] += s12
+				c[(i+1)*n+jj+3] += s13
+				c[(i+2)*n+jj] += s20
+				c[(i+2)*n+jj+1] += s21
+				c[(i+2)*n+jj+2] += s22
+				c[(i+2)*n+jj+3] += s23
+				c[(i+3)*n+jj] += s30
+				c[(i+3)*n+jj+1] += s31
+				c[(i+3)*n+jj+2] += s32
+				c[(i+3)*n+jj+3] += s33
+			}
+			for ; jj < n; jj++ {
+				bj := b[jj*k+k0 : jj*k+k0+kcur]
+				c[i*n+jj] += dot(ai0, bj)
+				c[(i+1)*n+jj] += dot(ai1, bj)
+				c[(i+2)*n+jj] += dot(ai2, bj)
+				c[(i+3)*n+jj] += dot(ai3, bj)
 			}
 		}
-	})
-	return c
+		for ; i < hi; i++ {
+			ai := a[i*k+k0 : i*k+k0+kcur]
+			for jj := 0; jj < n; jj++ {
+				c[i*n+jj] += dot(ai, b[jj*k+k0:jj*k+k0+kcur])
+			}
+		}
+	}
 }
 
 // TMatMul computes C = Aᵀ·B for A (k,m) and B (k,n) without materializing
 // the transpose.
 func TMatMul(a, b *Tensor) *Tensor {
+	k, m, n := tGemmDims(a, b)
+	c := New(m, n)
+	tGemm(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// TMatMulInto computes C (+)= Aᵀ·B into an existing (m,n) tensor without
+// allocating.
+func TMatMulInto(c, a, b *Tensor, accumulate bool) {
+	k, m, n := tGemmDims(a, b)
+	if c.Len() != m*n {
+		panic(fmt.Sprintf("tensor: TMatMulInto output has %d elements, want %d", c.Len(), m*n))
+	}
+	tGemm(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func tGemmDims(a, b *Tensor) (k, m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: TMatMul requires rank-2 tensors")
 	}
-	k, m := a.shape[0], a.shape[1]
+	k, m = a.shape[0], a.shape[1]
 	if b.shape[0] != k {
 		panic(fmt.Sprintf("tensor: TMatMul inner dimensions %d and %d differ", k, b.shape[0]))
 	}
-	n := b.shape[1]
-	c := New(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	// C[i,j] = Σ_kk A[kk,i]·B[kk,j]: accumulate row panels; parallel over
-	// output rows i to keep writes disjoint.
-	parallelFor(m, 8, func(lo, hi int) {
-		for kk := 0; kk < k; kk++ {
-			ak := ad[kk*m : kk*m+m]
-			bk := bd[kk*n : kk*n+n]
-			for i := lo; i < hi; i++ {
-				av := ak[i]
-				if av == 0 {
-					continue
+	n = b.shape[1]
+	return k, m, n
+}
+
+func tGemm(c, a, b []float32, m, k, n int, accumulate bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !accumulate {
+			zeroSlice(c[:m*n])
+		}
+		return
+	}
+	j := getGemmJob()
+	j.c, j.a, j.b = c, a, b
+	j.m, j.k, j.n = m, k, n
+	j.accumulate = accumulate
+	parallel.Run(m, gemmGrain, j, tGemmChunk)
+	putGemmJob(j)
+}
+
+// tGemmChunk computes C rows [lo,hi) of C = Aᵀ·B with 4×4 register tiles.
+// For each k step the tile loads 4 contiguous A values and 4 contiguous B
+// values (both along the rows of the k-major operands) and performs 16
+// fused multiply-adds; k is blocked so a tile's A column slab stays cached
+// across the j sweep.
+func tGemmChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmJob)
+	c, a, b := g.c, g.a, g.b
+	k, n := g.k, g.n
+	m := g.m
+	if !g.accumulate {
+		zeroSlice(c[lo*n : hi*n])
+	}
+	for k0 := 0; k0 < k; k0 += tiledKC {
+		k1 := min(k0+tiledKC, k)
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			jj := 0
+			for ; jj+4 <= n; jj += 4 {
+				var s00, s01, s02, s03 float32
+				var s10, s11, s12, s13 float32
+				var s20, s21, s22, s23 float32
+				var s30, s31, s32, s33 float32
+				for kk := k0; kk < k1; kk++ {
+					ar := a[kk*m+i : kk*m+i+4]
+					br := b[kk*n+jj : kk*n+jj+4]
+					a0, a1, a2, a3 := ar[0], ar[1], ar[2], ar[3]
+					b0, b1, b2, b3 := br[0], br[1], br[2], br[3]
+					s00 += a0 * b0
+					s01 += a0 * b1
+					s02 += a0 * b2
+					s03 += a0 * b3
+					s10 += a1 * b0
+					s11 += a1 * b1
+					s12 += a1 * b2
+					s13 += a1 * b3
+					s20 += a2 * b0
+					s21 += a2 * b1
+					s22 += a2 * b2
+					s23 += a2 * b3
+					s30 += a3 * b0
+					s31 += a3 * b1
+					s32 += a3 * b2
+					s33 += a3 * b3
 				}
-				saxpy(cd[i*n:(i+1)*n], bk, av)
+				c[i*n+jj] += s00
+				c[i*n+jj+1] += s01
+				c[i*n+jj+2] += s02
+				c[i*n+jj+3] += s03
+				c[(i+1)*n+jj] += s10
+				c[(i+1)*n+jj+1] += s11
+				c[(i+1)*n+jj+2] += s12
+				c[(i+1)*n+jj+3] += s13
+				c[(i+2)*n+jj] += s20
+				c[(i+2)*n+jj+1] += s21
+				c[(i+2)*n+jj+2] += s22
+				c[(i+2)*n+jj+3] += s23
+				c[(i+3)*n+jj] += s30
+				c[(i+3)*n+jj+1] += s31
+				c[(i+3)*n+jj+2] += s32
+				c[(i+3)*n+jj+3] += s33
+			}
+			for ; jj < n; jj++ {
+				var s0, s1, s2, s3 float32
+				for kk := k0; kk < k1; kk++ {
+					ar := a[kk*m+i : kk*m+i+4]
+					bv := b[kk*n+jj]
+					s0 += ar[0] * bv
+					s1 += ar[1] * bv
+					s2 += ar[2] * bv
+					s3 += ar[3] * bv
+				}
+				c[i*n+jj] += s0
+				c[(i+1)*n+jj] += s1
+				c[(i+2)*n+jj] += s2
+				c[(i+3)*n+jj] += s3
 			}
 		}
-	})
-	return c
+		for ; i < hi; i++ {
+			for jj := 0; jj < n; jj++ {
+				var s float32
+				for kk := k0; kk < k1; kk++ {
+					s += a[kk*m+i] * b[kk*n+jj]
+				}
+				c[i*n+jj] += s
+			}
+		}
+	}
 }
 
 func dot(a, b []float32) float32 {
@@ -160,21 +570,47 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank 2")
 	}
+	t := New(a.shape[1], a.shape[0])
+	TransposeInto(t, a)
+	return t
+}
+
+// TransposeInto writes the transpose of rank-2 a into t (shape (n,m) for a
+// (m,n)) without allocating, parallelized over row tiles.
+func TransposeInto(t, a *Tensor) {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank 2")
+	}
 	m, n := a.shape[0], a.shape[1]
-	t := New(n, m)
-	const tile = 32
-	for i0 := 0; i0 < m; i0 += tile {
-		i1 := min(i0+tile, m)
-		for j0 := 0; j0 < n; j0 += tile {
-			j1 := min(j0+tile, n)
+	if t.Len() != m*n {
+		panic(fmt.Sprintf("tensor: TransposeInto output has %d elements, want %d", t.Len(), m*n))
+	}
+	j := getGemmJob()
+	j.c, j.a = t.data, a.data
+	j.m, j.n = m, n
+	// Parallel over 32-row tiles: each chunk writes disjoint t columns.
+	parallel.Run((m+transTile-1)/transTile, 1, j, transposeChunk)
+	putGemmJob(j)
+}
+
+const transTile = 32
+
+func transposeChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmJob)
+	t, a := g.c, g.a
+	m, n := g.m, g.n
+	for ti := lo; ti < hi; ti++ {
+		i0 := ti * transTile
+		i1 := min(i0+transTile, m)
+		for j0 := 0; j0 < n; j0 += transTile {
+			j1 := min(j0+transTile, n)
 			for i := i0; i < i1; i++ {
 				for j := j0; j < j1; j++ {
-					t.data[j*m+i] = a.data[i*n+j]
+					t[j*m+i] = a[i*n+j]
 				}
 			}
 		}
 	}
-	return t
 }
 
 func min(a, b int) int {

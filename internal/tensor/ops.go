@@ -76,15 +76,29 @@ func SumRows(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
 		panic("tensor: SumRows requires rank 2")
 	}
+	out := New(t.shape[1])
+	SumRowsInto(out, t, true)
+	return out
+}
+
+// SumRowsInto accumulates the rows of an (m,n) tensor into a length-n dst
+// without allocating. If accumulate is false dst is overwritten.
+func SumRowsInto(dst, t *Tensor, accumulate bool) {
+	if t.Rank() != 2 || len(dst.data) != t.shape[1] {
+		panic("tensor: SumRowsInto requires (m,n) tensor and length-n dst")
+	}
 	n := t.shape[1]
-	out := New(n)
+	d := dst.data
+	if !accumulate {
+		zeroSlice(d)
+	}
 	for i := 0; i < t.shape[0]; i++ {
 		row := t.data[i*n : (i+1)*n]
+		_ = d[len(row)-1]
 		for j := range row {
-			out.data[j] += row[j]
+			d[j] += row[j]
 		}
 	}
-	return out
 }
 
 // Sum returns the sum of all elements (float64 accumulator for stability).
@@ -133,14 +147,40 @@ func MaxAbs(t *Tensor) float32 {
 // for the backward pass.
 func ReLU(t *Tensor) *Tensor {
 	mask := New(t.shape...)
-	for i, v := range t.data {
+	ReLUWithMask(t, mask)
+	return mask
+}
+
+// ReLUWithMask applies max(0,x) to t in place, writing the activation mask
+// (1 where active, 0 elsewhere) into the caller-provided mask tensor.
+func ReLUWithMask(t, mask *Tensor) {
+	binCheck(t, mask)
+	d, m := t.data, mask.data
+	_ = m[len(d)-1]
+	for i, v := range d {
 		if v > 0 {
-			mask.data[i] = 1
+			m[i] = 1
 		} else {
+			m[i] = 0
+			d[i] = 0
+		}
+	}
+}
+
+// ReLUInPlace applies max(0,x) to t without producing a mask (eval mode).
+func ReLUInPlace(t *Tensor) {
+	for i, v := range t.data {
+		if v < 0 {
 			t.data[i] = 0
 		}
 	}
-	return mask
+}
+
+// GELUInPlace applies GELU to t without saving pre-activations (eval mode).
+func GELUInPlace(t *Tensor) {
+	for i, x := range t.data {
+		t.data[i] = geluScalar(x)
+	}
 }
 
 // GELU applies the tanh-approximate Gaussian error linear unit in place and
@@ -151,6 +191,16 @@ func GELU(t *Tensor) *Tensor {
 		t.data[i] = geluScalar(x)
 	}
 	return pre
+}
+
+// GELUWithPre applies GELU to t in place after copying the pre-activations
+// into the caller-provided tensor (the allocation-free form of GELU).
+func GELUWithPre(t, pre *Tensor) {
+	binCheck(t, pre)
+	copy(pre.data, t.data)
+	for i, x := range t.data {
+		t.data[i] = geluScalar(x)
+	}
 }
 
 func geluScalar(x float32) float32 {

@@ -1,60 +1,22 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "github.com/sparse-dl/samo/internal/parallel"
 
-// maxWorkers bounds kernel parallelism. Tests may lower it for determinism
-// of scheduling (results are deterministic regardless: work partitioning is
-// static, and no kernel reduces across goroutines non-deterministically).
-var maxWorkers = runtime.GOMAXPROCS(0)
+// SetWorkers overrides the kernel worker count (n < 1 resets to GOMAXPROCS)
+// and returns the previous value. It delegates to the shared persistent
+// worker pool in internal/parallel, which every kernel in the repository
+// dispatches through; the bound is atomic, so SetWorkers is safe to call
+// while kernels are running on other goroutines (tests lower it mid-run for
+// scheduling determinism — results are deterministic regardless: work
+// partitioning is static, and no kernel reduces across goroutines
+// non-deterministically).
+func SetWorkers(n int) int { return parallel.SetWorkers(n) }
 
-// SetWorkers overrides the kernel worker count (n < 1 resets to GOMAXPROCS).
-// It returns the previous value.
-func SetWorkers(n int) int {
-	old := maxWorkers
-	if n < 1 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	maxWorkers = n
-	return old
-}
-
-// parallelFor runs fn(lo, hi) over a static partition of [0, n) into
-// contiguous chunks, one per worker. grain is the minimum chunk size below
-// which the loop runs serially — goroutine overhead dominates tiny kernels.
+// parallelFor runs fn(lo, hi) over a static partition of [0, n) on the
+// persistent worker pool. grain is the minimum chunk size below which the
+// loop runs serially — dispatch overhead dominates tiny kernels. The
+// closure may escape (one allocation); allocation-free kernels use
+// parallel.Run with pooled job structs instead.
 func parallelFor(n, grain int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := maxWorkers
-	if grain < 1 {
-		grain = 1
-	}
-	if max := (n + grain - 1) / grain; workers > max {
-		workers = max
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(n, grain, fn)
 }

@@ -25,7 +25,13 @@ type Tensor struct {
 // New returns a zero-filled tensor with the given shape.
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+	// make+copy rather than append-to-nil: this keeps the variadic shape
+	// argument non-escaping at call sites (append's flow analysis would
+	// force callers to heap-allocate it on every call — measurable on the
+	// arena's hot path).
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Tensor{shape: sh, data: make([]float32, n)}
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is NOT
@@ -34,16 +40,21 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), append([]int(nil), shape...), n))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Tensor{shape: sh, data: data}
 }
 
 func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			// Copy before formatting: handing shape itself to Sprintf would
+			// make the parameter escape and force every caller to heap-
+			// allocate its variadic shape argument — on the non-panic path.
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}

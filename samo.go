@@ -17,6 +17,23 @@
 // The companion Summit performance simulator (Estimate, PlanDevices) answers
 // "what would this buy me at N GPUs" with the paper's calibrated hardware
 // model, and package-level memory functions expose the §III-D closed forms.
+//
+// # Compute substrate
+//
+// Every CPU kernel — the blocked GEMM micro-kernels behind MatMul and its
+// transposed variants, im2col, fp16 conversion, and the sparse
+// compress/expand and SpMM/SDDMM paths — executes on one persistent,
+// process-wide worker pool (internal/parallel) rather than spawning
+// goroutines per call. SetWorkers bounds the per-call fan-out atomically
+// and is safe to call mid-run; the pool itself is sized at GOMAXPROCS once.
+//
+// Steady-state training steps are allocation-free: each trainer or
+// simulated rank owns a size-keyed tensor arena that supplies activations,
+// gradients and scratch buffers and reclaims them wholesale after the
+// optimizer step; layer caches recycle through typed pools, and the
+// in-process collectives hand pooled chunk buffers from sender to receiver
+// zero-copy. Run scripts/bench.sh to regenerate BENCH_kernels.json, the
+// kernel/throughput/allocation baseline the benchmarks are tracked against.
 package samo
 
 import (
@@ -79,6 +96,12 @@ const (
 
 // NewRNG returns a deterministic generator.
 func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// SetWorkers bounds the kernel worker pool's per-call parallelism (n < 1
+// resets to GOMAXPROCS) and returns the previous bound. Safe to call while
+// training runs on other goroutines; results do not depend on the worker
+// count (work partitioning is static and reductions are single-owner).
+func SetWorkers(n int) int { return tensor.SetWorkers(n) }
 
 // NewTensor returns a zero-filled tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — regression harness for the kernel and training hot paths.
+#
+# Runs the kernel-path benchmarks (seed saxpy GEMM vs packed micro-kernel at
+# the Figure 1 FC shapes, transposed products, compress/expand) plus the
+# experiment-level suites (Figure1Kernels, Table2Throughput,
+# EndToEndParallelStep, SerialTrainStep) and writes BENCH_kernels.json at
+# the repository root with ns/op, B/op and allocs/op per benchmark, the
+# packed-vs-seed GEMM speedups, and the machine fingerprint.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s; raise for stabler
+# numbers, or pass e.g. 3x for a quick smoke run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_kernels.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "running kernel benchmarks (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkGEMM|BenchmarkMatMulT|BenchmarkTMatMul' \
+    -benchmem -benchtime="$BENCHTIME" ./internal/tensor/ | tee -a "$TMP" >&2
+
+echo "running training-path benchmarks..." >&2
+go test -run '^$' \
+    -bench 'BenchmarkFigure1Kernels|BenchmarkTable2Throughput|BenchmarkEndToEndParallelStep|BenchmarkSerialTrainStep|BenchmarkCompressExpandRoundTrip' \
+    -benchmem -benchtime="$BENCHTIME" . | tee -a "$TMP" >&2
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+cpu = ""
+results = {}
+for ln in lines:
+    if ln.startswith("cpu:"):
+        cpu = ln[4:].strip()
+    m = re.match(r"^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) [^\s]+)*", ln)
+    if not m:
+        continue
+    name = re.sub(r"-\d+$", "", m.group(1))
+    entry = {"iters": int(m.group(2)), "ns_per_op": float(m.group(3))}
+    for val, unit in re.findall(r"([\d.]+) (B/op|allocs/op|GFLOPS)", ln):
+        key = unit.replace("/", "_per_")
+        entry[key] = float(val)
+    results[name] = entry
+
+speedups = {}
+for name, e in results.items():
+    m = re.match(r"BenchmarkGEMM/packed/(\d+)", name)
+    if m:
+        seed = results.get("BenchmarkGEMM/seed/" + m.group(1))
+        if seed:
+            speedups["gemm_%sx%s" % (m.group(1), m.group(1))] = round(
+                seed["ns_per_op"] / e["ns_per_op"], 3)
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+json.dump({
+    "description": "Kernel/training hot-path benchmark baseline. "
+                   "Regenerate with scripts/bench.sh.",
+    "cpu": cpu,
+    "go": go_version,
+    "gemm_speedup_packed_vs_seed": speedups,
+    "benchmarks": dict(sorted(results.items())),
+}, open(sys.argv[2], "w"), indent=2)
+print("wrote", sys.argv[2])
+EOF
