@@ -14,46 +14,99 @@ package comm
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
 
-// bufFree recycles collective chunk buffers. Buffers are handed from sender
-// to receiver zero-copy; the receiver returns them here after folding the
-// payload in, so steady-state collectives allocate nothing. The pool is
-// shared across ranks (buffers migrate between goroutines by design).
-var bufFree struct {
-	mu     sync.Mutex
-	bySize map[int][][]float32
+// bufPool recycles collective chunk buffers. Buffers are handed from
+// sender to receiver zero-copy; the receiver returns them here after
+// folding the payload in, so steady-state collectives allocate nothing.
+// The pool is shared across the ranks of ONE Fabric (buffers migrate
+// between that fabric's goroutines by design) but scoped to the Fabric,
+// not the process: experiment sweeps create many fabrics with many
+// distinct buffer sizes, and a process-wide pool retained every one of
+// them forever. A fabric's pool dies with the fabric.
+//
+// Buffers live in power-of-two capacity classes and are reused for any
+// request the capacity covers (getBuf reslices), so nearly-equal sizes —
+// ring chunk boundaries differ by one element across ranks — share
+// buffers instead of each pinning their own. Total retained capacity is
+// bounded; Put drops buffers beyond the bound and lets the GC take them.
+type bufPool struct {
+	mu       sync.Mutex
+	byClass  [bufClasses][][]float32
+	retained int64 // total float32 capacity currently pooled
 }
 
-func getBuf(n int) []float32 {
-	bufFree.mu.Lock()
-	if bufFree.bySize == nil {
-		bufFree.bySize = make(map[int][][]float32)
+const (
+	// bufClasses covers every representable capacity (class = ceil-log2,
+	// at most 63 for an int length); class i holds buffers with cap in
+	// (2^(i-1), 2^i].
+	bufClasses = 64
+	// maxPoolFloats bounds a fabric pool's retained capacity (4 MiB of
+	// float32s). A G-rank ring collective keeps at most a few chunks in
+	// flight per rank, so steady state sits far below the bound; the bound
+	// only bites when a sweep pushes many distinct large sizes through one
+	// fabric. An EMPTY class may retain one buffer past the bound — a
+	// chunk bigger than the whole budget must still round-trip through
+	// the pool, or every ring step of a large model would allocate.
+	maxPoolFloats = 1 << 20
+)
+
+// bufClass returns the class index whose buffers can hold n floats:
+// ceil(log2(n)).
+func bufClass(n int) int {
+	if n <= 1 {
+		return 0
 	}
-	list := bufFree.bySize[n]
-	if l := len(list); l > 0 {
-		b := list[l-1]
-		bufFree.bySize[n] = list[:l-1]
-		bufFree.mu.Unlock()
-		return b
-	}
-	bufFree.mu.Unlock()
-	return make([]float32, n)
+	return bits.Len(uint(n - 1))
 }
 
-func putBuf(b []float32) {
+func (p *bufPool) get(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	c := bufClass(n)
+	p.mu.Lock()
+	if list := p.byClass[c]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.byClass[c] = list[:len(list)-1]
+		p.retained -= int64(cap(b))
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	// Allocate the full class capacity so the buffer is reusable for every
+	// size in its class.
+	b := make([]float32, 1<<c)
+	return b[:n]
+}
+
+func (p *bufPool) put(b []float32) {
 	if cap(b) == 0 {
 		return
 	}
-	b = b[:cap(b)]
-	bufFree.mu.Lock()
-	if bufFree.bySize == nil {
-		bufFree.bySize = make(map[int][][]float32)
+	c := bufClass(cap(b))
+	if 1<<c != cap(b) {
+		return // not class-aligned (foreign buffer): don't pool it
 	}
-	bufFree.bySize[len(b)] = append(bufFree.bySize[len(b)], b)
-	bufFree.mu.Unlock()
+	p.mu.Lock()
+	if len(p.byClass[c]) > 0 && p.retained+int64(cap(b)) > maxPoolFloats {
+		p.mu.Unlock() // over budget and class already served: drop for GC
+		return
+	}
+	p.retained += int64(cap(b))
+	p.byClass[c] = append(p.byClass[c], b)
+	p.mu.Unlock()
+}
+
+// PooledBytes returns the bytes currently retained by the fabric's
+// collective buffer pool (bounded by design; see bufPool).
+func (f *Fabric) PooledBytes() int64 {
+	f.bufs.mu.Lock()
+	defer f.bufs.mu.Unlock()
+	return f.bufs.retained * 4
 }
 
 // Tag classifies data-plane messages so the engine can dispatch them.
@@ -93,6 +146,7 @@ type Fabric struct {
 	data  []chan Message
 	coll  []chan collMsg
 	stats []Stats
+	bufs  bufPool
 }
 
 type collMsg struct {
@@ -302,7 +356,7 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		sendChunk := (pos - s + g) % g
 		recvChunk := (pos - s - 1 + g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := getBuf(hi - lo)
+		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opAllReduce+s, out)
 		in := rk.recvColl(prev, opAllReduce+s)
@@ -311,21 +365,21 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		for i := range in {
 			buf[lo+i] += in[i]
 		}
-		putBuf(in)
+		rk.f.bufs.put(in)
 	}
 	// All-gather: circulate the finished chunks.
 	for s := 0; s < g-1; s++ {
 		sendChunk := (pos + 1 - s + g) % g
 		recvChunk := (pos - s + g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := getBuf(hi - lo)
+		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opAllReduce+1000+s, out)
 		in := rk.recvColl(prev, opAllReduce+1000+s)
 		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
 		copy(buf[lo:hi], in)
-		putBuf(in)
+		rk.f.bufs.put(in)
 	}
 }
 
@@ -348,10 +402,10 @@ func (rk *Rank) AllReduceOrdered(group []int, buf []float32) {
 			for j := range buf {
 				buf[j] += in[j]
 			}
-			putBuf(in)
+			rk.f.bufs.put(in)
 		}
 	} else {
-		out := getBuf(len(buf))
+		out := rk.f.bufs.get(len(buf))
 		copy(out, buf)
 		rk.sendColl(root, opGather+pos, out)
 	}
@@ -377,7 +431,7 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 			if i == rootPos {
 				continue
 			}
-			out := getBuf(len(buf))
+			out := rk.f.bufs.get(len(buf))
 			copy(out, buf)
 			rk.sendColl(g, opBcast+i, out)
 		}
@@ -385,7 +439,7 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 		in := rk.recvColl(root, opBcast+pos)
 		rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
 		copy(buf, in)
-		putBuf(in)
+		rk.f.bufs.put(in)
 	}
 }
 
@@ -409,7 +463,7 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 		sendChunk := (pos - s - 1 + 2*g) % g
 		recvChunk := (pos - s - 2 + 2*g) % g
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-		out := getBuf(hi - lo)
+		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
 		rk.sendColl(next, opRS+s, out)
 		in := rk.recvColl(prev, opRS+s)
@@ -418,7 +472,7 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 		for i := range in {
 			buf[lo+i] += in[i]
 		}
-		putBuf(in)
+		rk.f.bufs.put(in)
 	}
 	own := pos
 	lo, hi := bounds[own], bounds[own+1]
@@ -445,7 +499,7 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 	cur := pos
 	for s := 0; s < g-1; s++ {
 		clo, chi := bounds[cur], bounds[cur+1]
-		out := getBuf(chi - clo)
+		out := rk.f.bufs.get(chi - clo)
 		copy(out, full[clo:chi])
 		rk.sendColl(next, opAG+s, out)
 		in := rk.recvColl(prev, opAG+s)
@@ -453,7 +507,7 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 		clo, chi = bounds[cur], bounds[cur+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(chi - clo))
 		copy(full[clo:chi], in)
-		putBuf(in)
+		rk.f.bufs.put(in)
 	}
 	return full
 }

@@ -295,3 +295,55 @@ func TestOutOfOrderCollMatching(t *testing.T) {
 		}
 	}
 }
+
+func TestBufferPoolBoundedAcrossFabrics(t *testing.T) {
+	// Experiment sweeps create many fabrics and push many distinct buffer
+	// sizes through each. The collective buffer pool is scoped per fabric
+	// and bounded, so (a) one fabric can never retain more than the bound
+	// no matter how many sizes it sees, and (b) finished fabrics take their
+	// pools with them instead of growing process-global state.
+	const cycles = 8
+	for cyc := 0; cyc < cycles; cyc++ {
+		n := 3 + cyc%3
+		f := runGroup(n, func(rk *Rank) {
+			g := group(rk.Size())
+			// Many distinct sizes per cycle, as a sweep over layer shapes
+			// would produce.
+			for _, sz := range []int{31, 64, 257, 1024, 4099, 16384, 65537} {
+				buf := make([]float32, sz)
+				for i := range buf {
+					buf[i] = float32(rk.ID() + i)
+				}
+				rk.AllReduce(g, buf)
+				rk.Barrier(g)
+			}
+		})
+		if got := f.PooledBytes(); got > maxPoolFloats*4 {
+			t.Fatalf("cycle %d: fabric retains %d bytes, bound is %d", cyc, got, maxPoolFloats*4)
+		}
+	}
+}
+
+func TestBufferPoolCapacityReuse(t *testing.T) {
+	// Nearly-equal sizes must share buffers (power-of-two classes), not
+	// each pin their own: after cycling sizes 1000..1007 the pool holds at
+	// most one 1024-class buffer, where the old exact-size map kept eight.
+	var p bufPool
+	for sz := 1000; sz < 1008; sz++ {
+		b := p.get(sz)
+		if len(b) != sz {
+			t.Fatalf("get(%d) returned len %d", sz, len(b))
+		}
+		p.put(b)
+	}
+	if p.retained != 1024 {
+		t.Fatalf("pool retains %d floats after same-class cycling, want 1024", p.retained)
+	}
+	// And the retained buffer satisfies any size in its class without
+	// allocating a new one.
+	b := p.get(1024)
+	if p.retained != 0 {
+		t.Fatalf("pool retains %d floats after get, want 0", p.retained)
+	}
+	p.put(b)
+}

@@ -2,6 +2,11 @@ package core
 
 import (
 	"testing"
+
+	"github.com/sparse-dl/samo/internal/nn"
+	"github.com/sparse-dl/samo/internal/optim"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/tensor"
 )
 
 // TestTrainStepZeroAlloc pins the tentpole perf contract: after warmup, a
@@ -21,5 +26,71 @@ func TestTrainStepZeroAlloc(t *testing.T) {
 		if a := testing.AllocsPerRun(30, func() { tr.TrainStep(x, targets) }); a != 0 {
 			t.Errorf("%v: TrainStep allocates %.1f per step, want 0", mode, a)
 		}
+	}
+}
+
+// stateFor prunes the model's weight matrices and wraps it in a ModelState.
+func stateFor(m *nn.Model, mode Mode, sparsity float64) *ModelState {
+	var layers []prune.Layer
+	for _, e := range m.PruneLayers() {
+		layers = append(layers, prune.Layer{Name: e.Name, Values: e.Param.Value.Data()})
+	}
+	pr := prune.MagnitudePerLayer(layers, sparsity)
+	return NewModelState(m, optim.NewAdam(1e-3), mode, pr)
+}
+
+// TestCNNTrainStepZeroAlloc extends the zero-alloc contract to the CNN
+// path: im2col lowering, conv forward/backward, batch norm, pooling and
+// the residual shortcut must all run on pooled/arena state. PR 1 left
+// closure dispatch on this path; this pins the closed gap.
+func TestCNNTrainStepZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	m := nn.BuildVGG("allocvgg", []int{8, -1, 16, -1}, 3, 8, 4, rng)
+	tr := NewTrainer(stateFor(m, SAMO, 0.75))
+	x := tensor.New(4, 3, 8, 8)
+	tensor.FillNormal(x, 1, rng)
+	targets := []int{0, 1, 2, 3}
+	for i := 0; i < 3; i++ {
+		tr.TrainStep(x, targets)
+	}
+	if a := testing.AllocsPerRun(20, func() { tr.TrainStep(x, targets) }); a != 0 {
+		t.Errorf("CNN TrainStep allocates %.1f per step, want 0", a)
+	}
+
+	// The residual (WideResNet) path adds shortcut convs and batch norm in
+	// a different composition; pin it too.
+	rng2 := tensor.NewRNG(22)
+	mr := nn.BuildWideResNet("allocwrn", 1, 1, 3, 8, 4, rng2)
+	trr := NewTrainer(stateFor(mr, SAMO, 0.75))
+	for i := 0; i < 3; i++ {
+		trr.TrainStep(x, targets)
+	}
+	if a := testing.AllocsPerRun(20, func() { trr.TrainStep(x, targets) }); a != 0 {
+		t.Errorf("WideResNet TrainStep allocates %.1f per step, want 0", a)
+	}
+}
+
+// TestGPTTrainStepZeroAlloc extends the zero-alloc contract to the GPT
+// path: embedding lookup, attention (whose per-head fan-out used closure
+// dispatch before this PR), layer norm, GELU MLP and the LM head.
+func TestGPTTrainStepZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	cfg := nn.GPTConfig{Name: "alloc-gpt", Layers: 2, Hidden: 16, Heads: 2,
+		Seq: 8, Vocab: 32, BatchSize: 2}
+	m := nn.BuildGPT(cfg, rng)
+	tr := NewTrainer(stateFor(m, SAMO, 0.5))
+	tokens := make([]int, 2*cfg.Seq)
+	targets := make([]int, 2*cfg.Seq)
+	drng := tensor.NewRNG(24)
+	for i := range tokens {
+		tokens[i] = drng.Intn(cfg.Vocab)
+		targets[i] = drng.Intn(cfg.Vocab)
+	}
+	x := nn.TokensToTensor(tokens)
+	for i := 0; i < 3; i++ {
+		tr.TrainStep(x, targets)
+	}
+	if a := testing.AllocsPerRun(20, func() { tr.TrainStep(x, targets) }); a != 0 {
+		t.Errorf("GPT TrainStep allocates %.1f per step, want 0", a)
 	}
 }

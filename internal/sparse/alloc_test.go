@@ -3,6 +3,7 @@ package sparse
 import (
 	"testing"
 
+	"github.com/sparse-dl/samo/internal/fp16"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -30,5 +31,18 @@ func TestCompressExpandZeroAlloc(t *testing.T) {
 	}
 	if a := testing.AllocsPerRun(50, func() { ix.Expand(dense, comp) }); a != 0 {
 		t.Fatalf("Expand allocates %.1f per call, want 0", a)
+	}
+
+	// The fp16 twins sit on the same per-layer gradient path (∇θ16) and
+	// carry the same contract.
+	denseH := make([]fp16.Bits, n)
+	compH := make([]fp16.Bits, ix.NNZ())
+	ix.CompressHalf(compH, denseH)
+	ix.ExpandHalf(denseH, compH)
+	if a := testing.AllocsPerRun(50, func() { ix.CompressHalf(compH, denseH) }); a != 0 {
+		t.Fatalf("CompressHalf allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { ix.ExpandHalf(denseH, compH) }); a != 0 {
+		t.Fatalf("ExpandHalf allocates %.1f per call, want 0", a)
 	}
 }

@@ -81,30 +81,106 @@ func (m *CSR) Dense() *tensor.Tensor {
 	return t
 }
 
+// csrRowGrain returns the minimum CSR rows per parallel chunk so that one
+// chunk carries at least ixGrain scalar operations — the same memory-bound
+// rationale as the gather/scatter loops: these kernels stream values and
+// indices with almost no arithmetic per byte, so chunks below that are all
+// dispatch overhead. work is the kernel's total scalar-op count (nnz·n for
+// SpMM, nnz·k for SDDMM); the per-row grain is just work spread back over
+// the rows.
+func csrRowGrain(rows, work int) int {
+	if rows <= 0 || work <= 0 {
+		return 1
+	}
+	g := ixGrain * rows / work
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// csrJob carries one sparse kernel's arguments to the worker pool; pooled
+// so the sparse-baseline sweeps dispatch without allocating closures.
+type csrJob struct {
+	m    *CSR
+	a, b []float32
+	out  []float32
+	n, k int
+}
+
+var csrJobFree parallel.Pool[csrJob]
+
+func getCSRJob() *csrJob { return csrJobFree.Get() }
+
+func putCSRJob(j *csrJob) {
+	j.m, j.a, j.b, j.out = nil, nil, nil, nil
+	csrJobFree.Put(j)
+}
+
+func spmmChunk(ctx any, lo, hi int) {
+	g := ctx.(*csrJob)
+	m, bd, cd, n := g.m, g.b, g.out, g.n
+	for i := lo; i < hi; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Val[p]
+			bk := bd[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
+			for j := range bk {
+				ci[j] += v * bk[j]
+			}
+		}
+	}
+}
+
+func sddmmChunk(ctx any, lo, hi int) {
+	g := ctx.(*csrJob)
+	m, ad, bd, k := g.m, g.a, g.b, g.k
+	out := g.out
+	for i := lo; i < hi; i++ {
+		ai := ad[i*k : (i+1)*k]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			bj := bd[int(m.ColIdx[p])*k : int(m.ColIdx[p])*k+k]
+			var s float32
+			for x := range ai {
+				s += ai[x] * bj[x]
+			}
+			out[p] = s
+		}
+	}
+}
+
 // SpMM computes C = S·B for sparse S (m,k) and dense B (k,n) — the kernel a
 // fully connected layer's forward pass would use under sparse compute
 // (weights sparse, activations dense).
 func (m *CSR) SpMM(b *tensor.Tensor) *tensor.Tensor {
+	m.spmmCheck(b)
+	c := tensor.New(m.Rows, b.Dim(1))
+	m.SpMMInto(c, b)
+	return c
+}
+
+func (m *CSR) spmmCheck(b *tensor.Tensor) {
 	if b.Rank() != 2 || b.Dim(0) != m.Cols {
 		panic(fmt.Sprintf("sparse: SpMM dims (%d,%d)x%v", m.Rows, m.Cols, b.Shape()))
 	}
+}
+
+// SpMMInto computes C = S·B into a caller-provided (rows, n) tensor,
+// avoiding the per-call allocation. Parallel over output rows: each worker
+// owns disjoint C rows.
+func (m *CSR) SpMMInto(c, b *tensor.Tensor) {
+	m.spmmCheck(b)
 	n := b.Dim(1)
-	c := tensor.New(m.Rows, n)
-	bd, cd := b.Data(), c.Data()
-	// Parallel over output rows: each worker owns disjoint C rows.
-	parallel.For(m.Rows, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := cd[i*n : (i+1)*n]
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				v := m.Val[p]
-				bk := bd[int(m.ColIdx[p])*n : int(m.ColIdx[p])*n+n]
-				for j := range bk {
-					ci[j] += v * bk[j]
-				}
-			}
-		}
-	})
-	return c
+	if c.Len() != m.Rows*n {
+		panic(fmt.Sprintf("sparse: SpMMInto output has %d elements, want %d", c.Len(), m.Rows*n))
+	}
+	j := getCSRJob()
+	j.m, j.b, j.out, j.n = m, b.Data(), c.Data(), n
+	parallel.Run(m.Rows, csrRowGrain(m.Rows, m.NNZ()*n), j, spmmChunk)
+	putCSRJob(j)
 }
 
 // SDDMM computes the sampled dense-dense matrix multiplication
@@ -112,31 +188,35 @@ func (m *CSR) SpMM(b *tensor.Tensor) *tensor.Tensor {
 // (rows,k) and B (cols,k). This is the kernel the backward pass of a sparse
 // FC layer needs (weight-gradient restricted to the unpruned pattern).
 func (m *CSR) SDDMM(a, b *tensor.Tensor) *CSR {
-	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != m.Rows || b.Dim(0) != m.Cols || a.Dim(1) != b.Dim(1) {
-		panic("sparse: SDDMM shape mismatch")
-	}
-	k := a.Dim(1)
+	m.sddmmCheck(a, b)
 	out := &CSR{Rows: m.Rows, Cols: m.Cols,
 		RowPtr: append([]int32(nil), m.RowPtr...),
 		ColIdx: append([]int32(nil), m.ColIdx...),
 		Val:    make([]float32, len(m.Val))}
-	ad, bd := a.Data(), b.Data()
-	// Parallel over rows: each row's value range [RowPtr[i], RowPtr[i+1]) is
-	// disjoint, so workers write disjoint slices of out.Val.
-	parallel.For(m.Rows, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := ad[i*k : (i+1)*k]
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				bj := bd[int(m.ColIdx[p])*k : int(m.ColIdx[p])*k+k]
-				var s float32
-				for x := range ai {
-					s += ai[x] * bj[x]
-				}
-				out.Val[p] = s
-			}
-		}
-	})
+	m.SDDMMInto(out.Val, a, b)
 	return out
+}
+
+func (m *CSR) sddmmCheck(a, b *tensor.Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != m.Rows || b.Dim(0) != m.Cols || a.Dim(1) != b.Dim(1) {
+		panic("sparse: SDDMM shape mismatch")
+	}
+}
+
+// SDDMMInto computes the sampled product into a caller-provided value
+// slice aligned with m's pattern (len = NNZ), avoiding the fresh CSR and
+// value allocations of SDDMM. Parallel over rows: each row's value range
+// [RowPtr[i], RowPtr[i+1]) is disjoint, so workers write disjoint slices.
+func (m *CSR) SDDMMInto(dstVal []float32, a, b *tensor.Tensor) {
+	m.sddmmCheck(a, b)
+	if len(dstVal) != m.NNZ() {
+		panic(fmt.Sprintf("sparse: SDDMMInto values length %d, want %d", len(dstVal), m.NNZ()))
+	}
+	k := a.Dim(1)
+	j := getCSRJob()
+	j.m, j.a, j.b, j.out, j.k = m, a.Data(), b.Data(), dstVal, k
+	parallel.Run(m.Rows, csrRowGrain(m.Rows, m.NNZ()*k), j, sddmmChunk)
+	putCSRJob(j)
 }
 
 // Transpose returns the CSC-equivalent CSR of the transposed matrix.

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// randMaskedCSR builds a rows×cols CSR with ~density fraction of entries
+// kept, values in (-1, 1), plus the dense tensor it represents.
+func randMaskedCSR(rows, cols int, density float64, seed uint64) (*CSR, *tensor.Tensor) {
+	rng := tensor.NewRNG(seed)
+	d := tensor.New(rows, cols)
+	dd := d.Data()
+	for i := range dd {
+		if rng.Float64() < density {
+			v := float32(rng.Float64()*2 - 1)
+			if v == 0 {
+				v = 0.5 // keep the pattern: exact zeros would be dropped
+			}
+			dd[i] = v
+		}
+	}
+	return CSRFromDense(d), d
+}
+
+func randDense(rows, cols int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	t := tensor.New(rows, cols)
+	td := t.Data()
+	for i := range td {
+		td[i] = float32(rng.Float64()*2 - 1)
+	}
+	return t
+}
+
+// TestSpMMGolden pins SpMM and SpMMInto against the dense reference
+// S_dense·B computed by tensor.MatMul, over shapes that cross the
+// csrRowGrain chunking in both directions (few heavy rows, many light
+// rows) and degenerate n=1.
+func TestSpMMGolden(t *testing.T) {
+	for _, s := range [][3]int{{7, 9, 5}, {64, 48, 32}, {130, 65, 1}, {33, 129, 17}} {
+		rows, cols, n := s[0], s[1], s[2]
+		for _, density := range []float64{0.05, 0.3, 0.9} {
+			t.Run(fmt.Sprintf("%dx%dx%d/d%.2f", rows, cols, n, density), func(t *testing.T) {
+				m, dense := randMaskedCSR(rows, cols, density, uint64(rows*1000+n))
+				b := randDense(cols, n, uint64(cols))
+				want := tensor.MatMul(dense, b)
+				got := m.SpMM(b)
+				if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+					t.Fatalf("SpMM differs from dense by %g", d)
+				}
+				// Into with a dirty buffer must fully overwrite it.
+				into := tensor.New(rows, n)
+				into.Fill(42)
+				m.SpMMInto(into, b)
+				if d := tensor.MaxAbsDiff(into, want); d > 1e-4 {
+					t.Fatalf("SpMMInto differs from dense by %g", d)
+				}
+			})
+		}
+	}
+}
+
+// TestSDDMMGolden pins SDDMM and SDDMMInto against the dense reference:
+// out values must equal (A·Bᵀ) sampled at the mask pattern.
+func TestSDDMMGolden(t *testing.T) {
+	for _, s := range [][3]int{{7, 9, 5}, {64, 48, 32}, {130, 65, 3}, {33, 129, 17}} {
+		rows, cols, k := s[0], s[1], s[2]
+		for _, density := range []float64{0.05, 0.3, 0.9} {
+			t.Run(fmt.Sprintf("%dx%dx%d/d%.2f", rows, cols, k, density), func(t *testing.T) {
+				m, _ := randMaskedCSR(rows, cols, density, uint64(rows*77+k))
+				a := randDense(rows, k, uint64(rows))
+				b := randDense(cols, k, uint64(cols))
+				want := tensor.MatMulT(a, b) // (rows, cols) dense A·Bᵀ
+				out := m.SDDMM(a, b)
+				for i := 0; i < m.Rows; i++ {
+					for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+						w := want.At(i, int(m.ColIdx[p]))
+						if d := out.Val[p] - w; d > 1e-4 || d < -1e-4 {
+							t.Fatalf("SDDMM val (%d,%d): %g want %g", i, m.ColIdx[p], out.Val[p], w)
+						}
+					}
+				}
+				vals := make([]float32, m.NNZ())
+				m.SDDMMInto(vals, a, b)
+				for p, v := range out.Val {
+					if vals[p] != v {
+						t.Fatalf("SDDMMInto diverges from SDDMM at %d: %g vs %g", p, vals[p], v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCSRRowGrain sanity-checks the reasoned chunking: heavy rows shrink
+// the grain toward 1, light rows grow it so a chunk still holds ~ixGrain
+// scalar ops.
+func TestCSRRowGrain(t *testing.T) {
+	if g := csrRowGrain(100, 100*ixGrain); g != 1 {
+		t.Errorf("heavy rows: grain %d, want 1", g)
+	}
+	if g := csrRowGrain(1000, 1000); g < 100 {
+		t.Errorf("light rows: grain %d, want large", g)
+	}
+	if g := csrRowGrain(0, 0); g != 1 {
+		t.Errorf("degenerate: grain %d, want 1", g)
+	}
+}

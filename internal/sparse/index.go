@@ -133,27 +133,67 @@ func (ix *Index) Expand(dense, compressed []float32) {
 	putIxJob(j)
 }
 
+// ixHalfJob is the fp16 twin of ixJob: the half-precision gather/scatter
+// sits on the same per-layer, per-microbatch gradient path as the float32
+// one (∇θ16 is the tensor SAMO compresses most often), so it runs on the
+// worker pool with pooled dispatch too.
+type ixHalfJob struct {
+	ids        []int32
+	dst, dense []fp16.Bits
+}
+
+var ixHalfJobFree parallel.Pool[ixHalfJob]
+
+func compressHalfChunk(ctx any, lo, hi int) {
+	j := ctx.(*ixHalfJob)
+	ids, dst, dense := j.ids, j.dst, j.dense
+	for i := lo; i < hi; i++ {
+		dst[i] = dense[ids[i]]
+	}
+}
+
+func zeroHalfChunk(ctx any, lo, hi int) {
+	d := ctx.(*ixHalfJob).dense
+	for i := lo; i < hi; i++ {
+		d[i] = 0
+	}
+}
+
+func expandHalfChunk(ctx any, lo, hi int) {
+	j := ctx.(*ixHalfJob)
+	ids, dst, dense := j.ids, j.dst, j.dense
+	for i := lo; i < hi; i++ {
+		dense[ids[i]] = dst[i]
+	}
+}
+
 // CompressHalf gathers unpruned elements of a dense half-precision view.
+// Parallel (disjoint dst ranges) and allocation-free, exactly like the
+// float32 Compress.
 func (ix *Index) CompressHalf(dst, dense []fp16.Bits) {
 	if len(dense) != ix.full || len(dst) != len(ix.ids) {
 		panic("sparse: CompressHalf size mismatch")
 	}
-	for i, id := range ix.ids {
-		dst[i] = dense[id]
-	}
+	j := ixHalfJobFree.Get()
+	j.ids, j.dst, j.dense = ix.ids, dst, dense
+	parallel.Run(len(ix.ids), ixGrain, j, compressHalfChunk)
+	j.ids, j.dst, j.dense = nil, nil, nil
+	ixHalfJobFree.Put(j)
 }
 
-// ExpandHalf scatters compressed half-precision values into a dense view.
+// ExpandHalf scatters compressed half-precision values into a dense view,
+// zero-filling pruned positions. Both phases are parallel (ids are unique,
+// so scatter writes are disjoint) and allocation-free.
 func (ix *Index) ExpandHalf(dense, compressed []fp16.Bits) {
 	if len(dense) != ix.full || len(compressed) != len(ix.ids) {
 		panic("sparse: ExpandHalf size mismatch")
 	}
-	for i := range dense {
-		dense[i] = 0
-	}
-	for i, id := range ix.ids {
-		dense[id] = compressed[i]
-	}
+	j := ixHalfJobFree.Get()
+	j.ids, j.dst, j.dense = ix.ids, compressed, dense
+	parallel.Run(len(dense), ixGrain, j, zeroHalfChunk)
+	parallel.Run(len(ix.ids), ixGrain, j, expandHalfChunk)
+	j.ids, j.dst, j.dense = nil, nil, nil
+	ixHalfJobFree.Put(j)
 }
 
 // Mask reconstructs the boolean mask this index describes.

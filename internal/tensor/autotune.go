@@ -1,0 +1,269 @@
+package tensor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GEMM autotuner: a per-shape table of blocking parameters for the shared-
+// pack v2 kernel. Shapes are bucketed by ceil(log2) of (m, k, n) — training
+// reuses the same handful of GEMM shapes every microbatch, so the table
+// stays tiny and every steady-state lookup is a read-locked map hit with no
+// allocation. The first few calls on a new bucket each time one candidate
+// blocking (the probe does the real multiplication, so no work is wasted);
+// once every candidate has enough samples the winner is frozen into the
+// entry and all later calls take it branch-free.
+//
+// The table can be persisted (SaveTuneTable) and pre-loaded (LoadTuneTable,
+// or automatically from the file named by SAMO_GEMM_TUNE at init) so long
+// sweeps and benchmarks skip the probe phase entirely.
+
+// tuneCand is one candidate blocking: pack=true runs the BLIS-style shared
+// panel pipeline with kc×nc packed panels; pack=false runs the direct-B
+// micro-kernel (no packing), which wins when m is so small that a panel
+// would be swept only once or twice and the pack traffic cannot amortize.
+type tuneCand struct {
+	kc, nc int
+	pack   bool
+}
+
+// tuneCands are the probe candidates. The first entry is the v1 default
+// blocking (kc·nc·4 = 128 KiB, L2-resident); the alternatives trade panel
+// height against width (taller panels amortize the sweep's C row traffic
+// over more k, wider panels cut the number of j0 passes over A), and the
+// last skips packing entirely for pack-dominated small-m shapes.
+var tuneCands = [4]tuneCand{
+	{kc: 256, nc: 128, pack: true},
+	{kc: 128, nc: 256, pack: true},
+	{kc: 512, nc: 256, pack: true},
+	{kc: 256, nc: 512, pack: false},
+}
+
+// tuneProbeRuns is how many timed samples each candidate gets before the
+// entry decides. The minimum over samples is compared (minimum, not mean:
+// scheduling noise only ever adds time); three samples make a noise burst
+// have to hit the same candidate three times to bias the choice.
+const tuneProbeRuns = 3
+
+// tuneKey buckets a GEMM shape by ceil(log2) of each dimension: shapes
+// within a power of two share blocking, which keeps the table a few dozen
+// entries for a whole training run while still separating the regimes that
+// matter (small-m backward vs large-m forward, k or n under one panel).
+type tuneKey struct {
+	mb, kb, nb uint8
+}
+
+func log2Bucket(n int) uint8 {
+	if n <= 1 {
+		return 0
+	}
+	return uint8(bits.Len(uint(n - 1)))
+}
+
+func makeTuneKey(m, k, n int) tuneKey {
+	return tuneKey{log2Bucket(m), log2Bucket(k), log2Bucket(n)}
+}
+
+// tuneEntry is the per-bucket probe state. chosen is -1 while probing and
+// the winning candidate index afterwards; reads are a single atomic load.
+//
+// Freezing is not final: probe timings are wall-clock around parallel.Run,
+// whose helping-wait can execute other goroutines' queued chunks inside
+// the timed region, so under concurrent training (many ranks probing the
+// same buckets at startup) every initial sample of a candidate can be
+// contaminated and a slower blocking frozen. Every tuneReprobeEvery-th
+// call on a decided bucket therefore re-times one candidate round-robin;
+// minima only improve, so one clean sample of the truly fastest candidate
+// eventually corrects the choice. Switching is always safe: every
+// candidate produces bitwise-identical output.
+type tuneEntry struct {
+	chosen atomic.Int32
+	calls  atomic.Int64 // post-freeze call counter driving re-probes
+
+	mu   sync.Mutex
+	best [len(tuneCands)]float64 // min ns per flop over recorded samples
+	recs [len(tuneCands)]int     // samples recorded (freeze gate)
+	runs [len(tuneCands)]int     // probes handed out (round-robin gate)
+}
+
+// tuneReprobeEvery is the period of post-freeze drift probes (one timed
+// call in 512 keeps the correction overhead unmeasurable).
+const tuneReprobeEvery = 512
+
+// nextProbe picks the least-sampled candidate for the next timed call.
+func (e *tuneEntry) nextProbe() int {
+	e.mu.Lock()
+	idx := 0
+	for i := 1; i < len(tuneCands); i++ {
+		if e.runs[i] < e.runs[idx] {
+			idx = i
+		}
+	}
+	e.runs[idx]++
+	e.mu.Unlock()
+	return idx
+}
+
+// record stores a probe timing for a call of `work` = m·k·n flops-ish and
+// freezes the winner once every candidate has tuneProbeRuns samples.
+// Timings are compared per unit of work, not raw: a log2 bucket spans up
+// to 2x per dimension, so two shapes in one bucket can differ ~8x in work
+// and a raw-duration comparison would crown whichever candidate happened
+// to be timed on the smallest shape.
+func (e *tuneEntry) record(idx int, d time.Duration, work int) {
+	if d < 1 {
+		d = 1 // coarse clocks can report 0 on tiny shapes; 0 must still count as a sample
+	}
+	if work < 1 {
+		work = 1
+	}
+	v := float64(d) / float64(work)
+	e.mu.Lock()
+	if e.recs[idx] == 0 || v < e.best[idx] {
+		e.best[idx] = v
+	}
+	e.recs[idx]++
+	done := true
+	for i := range tuneCands {
+		if e.recs[i] < tuneProbeRuns {
+			done = false
+			break
+		}
+	}
+	if done {
+		// (Re-)evaluate the winner: the initial freeze, and any later
+		// drift probe whose cleaner sample moved a minimum.
+		win := 0
+		for i := 1; i < len(tuneCands); i++ {
+			if e.best[i] < e.best[win] {
+				win = i
+			}
+		}
+		e.chosen.Store(int32(win))
+	}
+	e.mu.Unlock()
+}
+
+var tuneTable struct {
+	mu sync.RWMutex
+	m  map[tuneKey]*tuneEntry
+}
+
+// tuneFor returns the (existing or new) entry for a shape bucket. The fast
+// path is a read-locked map hit — no allocation, no contention in steady
+// state.
+func tuneFor(m, k, n int) *tuneEntry {
+	key := makeTuneKey(m, k, n)
+	tuneTable.mu.RLock()
+	e := tuneTable.m[key]
+	tuneTable.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	tuneTable.mu.Lock()
+	if e = tuneTable.m[key]; e == nil {
+		if tuneTable.m == nil {
+			tuneTable.m = make(map[tuneKey]*tuneEntry)
+		}
+		e = &tuneEntry{}
+		e.chosen.Store(-1)
+		tuneTable.m[key] = e
+	}
+	tuneTable.mu.Unlock()
+	return e
+}
+
+// ResetTuneTable clears all autotuning decisions (tests, and benchmarks
+// that want to re-probe on a new machine).
+func ResetTuneTable() {
+	tuneTable.mu.Lock()
+	tuneTable.m = nil
+	tuneTable.mu.Unlock()
+}
+
+// tuneRecord is the persisted form of one decided bucket.
+type tuneRecord struct {
+	MB   uint8 `json:"mb"`
+	KB   uint8 `json:"kb"`
+	NB   uint8 `json:"nb"`
+	KC   int   `json:"kc"`
+	NC   int   `json:"nc"`
+	Pack bool  `json:"pack"`
+}
+
+type tuneFile struct {
+	Description string       `json:"description"`
+	Entries     []tuneRecord `json:"entries"`
+}
+
+// SaveTuneTable writes every decided bucket to path as JSON. Undecided
+// buckets (still probing) are skipped.
+func SaveTuneTable(path string) error {
+	var f tuneFile
+	f.Description = "SAMO GEMM autotuner decisions, keyed by ceil(log2) shape buckets. " +
+		"Machine-specific; regenerate after hardware changes."
+	tuneTable.mu.RLock()
+	for k, e := range tuneTable.m {
+		idx := e.chosen.Load()
+		if idx < 0 {
+			continue
+		}
+		c := tuneCands[idx]
+		f.Entries = append(f.Entries, tuneRecord{
+			MB: k.mb, KB: k.kb, NB: k.nb, KC: c.kc, NC: c.nc, Pack: c.pack})
+	}
+	tuneTable.mu.RUnlock()
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadTuneTable pre-seeds the autotuner from a file written by
+// SaveTuneTable: matching buckets skip the probe phase. Records whose
+// blocking is not among the current candidates are ignored (the candidate
+// set may have changed between versions).
+func LoadTuneTable(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f tuneFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("tensor: tune table %s: %w", path, err)
+	}
+	tuneTable.mu.Lock()
+	if tuneTable.m == nil {
+		tuneTable.m = make(map[tuneKey]*tuneEntry)
+	}
+	for _, r := range f.Entries {
+		for i, c := range tuneCands {
+			if c.kc == r.KC && c.nc == r.NC && c.pack == r.Pack {
+				e := &tuneEntry{}
+				e.chosen.Store(int32(i))
+				tuneTable.m[tuneKey{r.MB, r.KB, r.NB}] = e
+				break
+			}
+		}
+	}
+	tuneTable.mu.Unlock()
+	return nil
+}
+
+func init() {
+	if path := os.Getenv("SAMO_GEMM_TUNE"); path != "" {
+		// A missing file just re-probes (first run on a machine); anything
+		// else — corrupt JSON, permissions — is reported, because silently
+		// re-probing is exactly the behavior the operator set the variable
+		// to avoid.
+		if err := LoadTuneTable(path); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "tensor: SAMO_GEMM_TUNE not loaded: %v\n", err)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/sparse-dl/samo/internal/parallel"
+)
 
 // ConvSpec describes a 2-D convolution: kernel size, stride and padding are
 // symmetric in height and width (all the VGG/WideResNet layers used in the
@@ -46,39 +50,61 @@ func Im2ColInto(cols, in *Tensor, s ConvSpec) {
 	if cols.Len() != n*oh*ow*s.InC*k*k {
 		panic(fmt.Sprintf("tensor: Im2ColInto output has %d elements, want %d", cols.Len(), n*oh*ow*s.InC*k*k))
 	}
-	src := in.data
-	dst := cols.data
+	j := im2colJobFree.Get()
+	j.src, j.dst = in.data, cols.data
+	j.spec, j.oh, j.ow = s, oh, ow
+	parallel.Run(n*oh*ow, 64, j, im2colChunk)
+	j.src, j.dst = nil, nil
+	im2colJobFree.Put(j)
+}
+
+// im2colJob carries one lowering's arguments to the pool workers; pooled
+// so the conv forward path (one Im2ColInto per conv layer per microbatch)
+// dispatches without allocating a closure.
+type im2colJob struct {
+	src, dst []float32
+	spec     ConvSpec
+	oh, ow   int
+}
+
+var im2colJobFree parallel.Pool[im2colJob]
+
+// im2colChunk lowers output rows [lo,hi); each row writes a disjoint
+// rowLen slice of the column matrix.
+func im2colChunk(ctx any, lo, hi int) {
+	g := ctx.(*im2colJob)
+	s, oh, ow := g.spec, g.oh, g.ow
+	src, dst := g.src, g.dst
+	k := s.Kernel
 	rowLen := s.InC * k * k
-	parallelFor(n*oh*ow, 64, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			img := r / (oh * ow)
-			rem := r % (oh * ow)
-			oy := rem / ow
-			ox := rem % ow
-			base := r * rowLen
-			for c := 0; c < s.InC; c++ {
-				chanOff := (img*s.InC + c) * s.InH * s.InW
-				for ky := 0; ky < k; ky++ {
-					iy := oy*s.Stride + ky - s.Pad
-					rowOff := base + (c*k+ky)*k
-					if iy < 0 || iy >= s.InH {
-						for kx := 0; kx < k; kx++ {
-							dst[rowOff+kx] = 0
-						}
-						continue
-					}
+	for r := lo; r < hi; r++ {
+		img := r / (oh * ow)
+		rem := r % (oh * ow)
+		oy := rem / ow
+		ox := rem % ow
+		base := r * rowLen
+		for c := 0; c < s.InC; c++ {
+			chanOff := (img*s.InC + c) * s.InH * s.InW
+			for ky := 0; ky < k; ky++ {
+				iy := oy*s.Stride + ky - s.Pad
+				rowOff := base + (c*k+ky)*k
+				if iy < 0 || iy >= s.InH {
 					for kx := 0; kx < k; kx++ {
-						ix := ox*s.Stride + kx - s.Pad
-						if ix < 0 || ix >= s.InW {
-							dst[rowOff+kx] = 0
-						} else {
-							dst[rowOff+kx] = src[chanOff+iy*s.InW+ix]
-						}
+						dst[rowOff+kx] = 0
+					}
+					continue
+				}
+				for kx := 0; kx < k; kx++ {
+					ix := ox*s.Stride + kx - s.Pad
+					if ix < 0 || ix >= s.InW {
+						dst[rowOff+kx] = 0
+					} else {
+						dst[rowOff+kx] = src[chanOff+iy*s.InW+ix]
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Col2Im scatter-adds a column matrix (as produced by Im2Col) back into an

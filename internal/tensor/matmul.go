@@ -3,22 +3,34 @@ package tensor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/sparse-dl/samo/internal/parallel"
 )
 
-// GEMM blocking parameters. A kc×nc panel of B is packed contiguously per
-// worker (kc·nc·4 = 128 KiB, L2-resident) and swept by a 4-row,
-// 2-k-unrolled register micro-kernel; mc-row strips of A stream from L1.
+// GEMM blocking parameters. The default v1 blocking packs a kc×nc panel of
+// B contiguously (kc·nc·4 = 128 KiB, L2-resident) and sweeps it with a
+// 4-row, 2-k-unrolled register micro-kernel; the v2 shared-pack pipeline
+// autotunes (kc, nc) per shape bucket (see autotune.go) with these values
+// as the first candidate.
 const (
-	gemmKC = 256 // k-dimension block (panel height)
-	gemmNC = 128 // n-dimension block (panel width)
+	gemmKC = 256 // k-dimension block (panel height), v1 default
+	gemmNC = 128 // n-dimension block (panel width), v1 default
 	gemmMR = 4   // micro-kernel rows (A rows per strip)
-	// gemmGrain is the minimum C rows per parallel chunk.
+	// gemmGrain is the minimum C rows per parallel chunk for the v1 and
+	// saxpy kernels (each chunk re-packs panels, so chunks must be big).
 	gemmGrain = 8
+	// gemmPackGrain is the minimum panel rows per worker in the v2
+	// cooperative pack: a row copy is ~nc·4 bytes of pure memcpy, so
+	// fine-grained fan-out is all dispatch overhead.
+	gemmPackGrain = 32
 	// tiledKC blocks the k dimension of the transposed products so a 4-row
 	// A strip and 4-row B strip stay L1-resident.
 	tiledKC = 512
+	// packBufCap sizes pooled panel buffers to the largest packing
+	// candidate (512·256 floats = 512 KiB) so one free list serves every
+	// autotuned blocking without reallocation.
+	packBufCap = 512 * 256
 )
 
 // MatMul computes C = A·B for A of shape (m,k) and B of shape (k,n),
@@ -84,7 +96,7 @@ func getPackBuf() []float32 {
 	l := len(packFree.list)
 	if l == 0 {
 		packFree.mu.Unlock()
-		return make([]float32, gemmKC*gemmNC)
+		return make([]float32, packBufCap)
 	}
 	b := packFree.list[l-1]
 	packFree.list = packFree.list[:l-1]
@@ -99,8 +111,12 @@ func putPackBuf(b []float32) {
 }
 
 // gemm dispatches C (+)= A·B over the worker pool. Large shapes take the
-// packed micro-kernel; small or skinny shapes fall back to the row-saxpy
-// kernel, whose per-row cost model fits them better.
+// shared-pack v2 pipeline with autotuned blocking; small or skinny shapes
+// fall back to the row-saxpy kernel, whose per-row cost model fits them
+// better. While a shape bucket is still probing, each call times one
+// candidate blocking (the probe performs the real product, so no work is
+// thrown away); once decided, the winning candidate is a single atomic
+// load away.
 func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return
@@ -111,16 +127,142 @@ func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 		}
 		return
 	}
+	if m >= gemmMR && n >= 16 && k >= 16 {
+		e := tuneFor(m, k, n)
+		if idx := int(e.chosen.Load()); idx >= 0 {
+			if e.calls.Add(1)%tuneReprobeEvery != 0 {
+				gemmV2(c, a, b, m, k, n, accumulate, tuneCands[idx])
+				return
+			}
+			// Drift probe: re-time one candidate round-robin (see
+			// tuneEntry) — contaminated startup probes self-correct.
+		}
+		probe := e.nextProbe()
+		t0 := time.Now()
+		gemmV2(c, a, b, m, k, n, accumulate, tuneCands[probe])
+		e.record(probe, time.Since(t0), m*k*n)
+		return
+	}
 	j := getGemmJob()
 	j.c, j.a, j.b = c, a, b
 	j.m, j.k, j.n = m, k, n
 	j.accumulate = accumulate
-	if m >= gemmMR && n >= 16 && k >= 16 {
-		parallel.Run(m, gemmGrain, j, gemmPackedChunk)
-	} else {
-		parallel.Run(m, gemmGrain, j, gemmSaxpyChunk)
-	}
+	parallel.Run(m, gemmGrain, j, gemmSaxpyChunk)
 	putGemmJob(j)
+}
+
+// gemmV2Job carries the shared-pack pipeline's per-panel state to the pool
+// workers. One job serves a whole gemmV2 call: the caller mutates the panel
+// fields between parallel.Run barriers (Run returns only after every chunk
+// finished, so workers never observe a mutation mid-panel).
+type gemmV2Job struct {
+	c, a, b    []float32
+	m, k, n    int
+	accumulate bool
+	pb         []float32 // the one shared packed panel (nil on direct path)
+	k0, kcur   int       // current panel's k range
+	j0, ncur   int       // current panel's n range
+	kc, nc     int       // blocking (direct path iterates panels itself)
+}
+
+var gemmV2JobFree parallel.Pool[gemmV2Job]
+
+// gemmV2 computes C (+)= A·B with the BLIS-style shared-pack pipeline: for
+// each kc×nc panel of B the workers first pack it cooperatively — ONCE per
+// call, into one process-pooled buffer — then all sweep their disjoint C
+// row ranges over it. The v1 kernel packed every panel once per *worker*,
+// which is pure duplicated memory traffic as soon as a call fans out; the
+// shared pack removes it, which is exactly the win when rows-per-worker is
+// small (the Figure-1 FC backward shapes). Candidates with pack=false skip
+// packing entirely and read B in place — for very small m a panel is swept
+// too few times for the pack traffic to amortize at all.
+func gemmV2(c, a, b []float32, m, k, n int, accumulate bool, cand tuneCand) {
+	j := gemmV2JobFree.Get()
+	j.c, j.a, j.b = c, a, b
+	j.m, j.k, j.n = m, k, n
+	j.accumulate = accumulate
+	j.kc, j.nc = cand.kc, cand.nc
+	if !cand.pack {
+		parallel.Run(m, gemmMR, j, gemmDirectChunk)
+	} else {
+		pb := getPackBuf()
+		j.pb = pb
+		for k0 := 0; k0 < k; k0 += cand.kc {
+			kcur := min(cand.kc, k-k0)
+			for j0 := 0; j0 < n; j0 += cand.nc {
+				j.k0, j.kcur = k0, kcur
+				j.j0, j.ncur = j0, min(cand.nc, n-j0)
+				parallel.Run(kcur, gemmPackGrain, j, gemmPackPanelChunk)
+				parallel.Run(m, gemmMR, j, gemmSweepChunk)
+			}
+		}
+		j.pb = nil
+		putPackBuf(pb)
+	}
+	j.c, j.a, j.b = nil, nil, nil
+	gemmV2JobFree.Put(j)
+}
+
+// gemmPackPanelChunk copies panel rows [lo,hi) (relative to k0) of the
+// current kc×nc panel of B into the shared buffer, making rows adjacent
+// (stride ncur instead of n). Chunks touch disjoint panel rows.
+func gemmPackPanelChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	b, pb := g.b, g.pb
+	n, k0, j0, ncur := g.n, g.k0, g.j0, g.ncur
+	for kk := lo; kk < hi; kk++ {
+		copy(pb[kk*ncur:kk*ncur+ncur], b[(k0+kk)*n+j0:(k0+kk)*n+j0+ncur])
+	}
+}
+
+// gemmSweepChunk updates C rows [lo,hi), cols [j0,j0+ncur) from the shared
+// packed panel with the register micro-kernel. On the first k panel of a
+// non-accumulating product it also zeroes its C band (each band is touched
+// by exactly one chunk per panel, so the zeroing races with nothing).
+func gemmSweepChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	c, a, pb := g.c, g.a, g.pb
+	k, n := g.k, g.n
+	k0, kcur, j0, ncur := g.k0, g.kcur, g.j0, g.ncur
+	if k0 == 0 && !g.accumulate {
+		for i := lo; i < hi; i++ {
+			zeroSlice(c[i*n+j0 : i*n+j0+ncur])
+		}
+	}
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		gemmMicro4(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+	}
+	for ; i < hi; i++ {
+		gemmMicro1(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+	}
+}
+
+// gemmDirectChunk computes C rows [lo,hi) reading B in place (no panel
+// packing): the micro-kernel's inner loops stay contiguous along B rows,
+// only the row stride changes from ncur to n. Each chunk runs the full
+// blocked panel loop independently — there is no shared state, so the rows
+// fan out at micro-kernel granularity.
+func gemmDirectChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	c, a, b := g.c, g.a, g.b
+	k, n := g.k, g.n
+	if !g.accumulate {
+		zeroSlice(c[lo*n : hi*n])
+	}
+	for k0 := 0; k0 < k; k0 += g.kc {
+		kcur := min(g.kc, k-k0)
+		for j0 := 0; j0 < n; j0 += g.nc {
+			ncur := min(g.nc, n-j0)
+			i := lo
+			for ; i+gemmMR <= hi; i += gemmMR {
+				gemmMicro4(c, a, b, k0*n+j0, n, i, k, n, k0, kcur, j0, ncur)
+			}
+			for ; i < hi; i++ {
+				gemmMicro1(c, a, b, k0*n+j0, n, i, k, n, k0, kcur, j0, ncur)
+			}
+		}
+	}
 }
 
 // gemmPackedChunk computes C rows [lo,hi) with the packed micro-kernel:
@@ -148,20 +290,23 @@ func gemmPackedChunk(ctx any, lo, hi int) {
 			}
 			i := lo
 			for ; i+gemmMR <= hi; i += gemmMR {
-				gemmMicro4(c, a, pb, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro4(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
 			}
 			for ; i < hi; i++ {
-				gemmMicro1(c, a, pb, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro1(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
 			}
 		}
 	}
 	putPackBuf(pb)
 }
 
-// gemmMicro4 updates C rows i..i+3, cols [j0,j0+ncur) from a packed B panel
-// of kcur rows. The 2-wide k unroll halves C read/write traffic per flop;
-// the four A scalars per k-step live in registers across the j loop.
-func gemmMicro4(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
+// gemmMicro4 updates C rows i..i+3, cols [j0,j0+ncur) from kcur rows of B
+// starting at bp[bOff] with row stride bStride — a packed panel (bOff=0,
+// bStride=ncur) or B read in place (bOff=k0·n+j0, bStride=n); the inner
+// loop is contiguous either way. The 2-wide k unroll halves C read/write
+// traffic per flop; the four A scalars per k-step live in registers across
+// the j loop.
+func gemmMicro4(c, a, bp []float32, bOff, bStride, i, k, n, k0, kcur, j0, ncur int) {
 	ci0 := c[i*n+j0 : i*n+j0+ncur]
 	ci1 := c[(i+1)*n+j0 : (i+1)*n+j0+ncur]
 	ci2 := c[(i+2)*n+j0 : (i+2)*n+j0+ncur]
@@ -172,8 +317,9 @@ func gemmMicro4(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
 	ai3 := a[(i+3)*k+k0 : (i+3)*k+k0+kcur]
 	kk := 0
 	for ; kk+2 <= kcur; kk += 2 {
-		b0 := pb[kk*ncur : kk*ncur+ncur]
-		b1 := pb[kk*ncur+ncur : kk*ncur+2*ncur]
+		o := bOff + kk*bStride
+		b0 := bp[o : o+ncur]
+		b1 := bp[o+bStride : o+bStride+ncur]
 		a00, a01 := ai0[kk], ai0[kk+1]
 		a10, a11 := ai1[kk], ai1[kk+1]
 		a20, a21 := ai2[kk], ai2[kk+1]
@@ -192,7 +338,8 @@ func gemmMicro4(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
 		}
 	}
 	if kk < kcur {
-		b0 := pb[kk*ncur : kk*ncur+ncur]
+		o := bOff + kk*bStride
+		b0 := bp[o : o+ncur]
 		a0, a1, a2, a3 := ai0[kk], ai1[kk], ai2[kk], ai3[kk]
 		_ = ci0[len(b0)-1]
 		_ = ci1[len(b0)-1]
@@ -208,13 +355,14 @@ func gemmMicro4(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
 }
 
 // gemmMicro1 is the single-row remainder of gemmMicro4.
-func gemmMicro1(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
+func gemmMicro1(c, a, bp []float32, bOff, bStride, i, k, n, k0, kcur, j0, ncur int) {
 	ci := c[i*n+j0 : i*n+j0+ncur]
 	ai := a[i*k+k0 : i*k+k0+kcur]
 	kk := 0
 	for ; kk+2 <= kcur; kk += 2 {
-		b0 := pb[kk*ncur : kk*ncur+ncur]
-		b1 := pb[kk*ncur+ncur : kk*ncur+2*ncur]
+		o := bOff + kk*bStride
+		b0 := bp[o : o+ncur]
+		b1 := bp[o+bStride : o+bStride+ncur]
 		a0, a1 := ai[kk], ai[kk+1]
 		_ = b1[len(b0)-1]
 		_ = ci[len(b0)-1]
@@ -223,7 +371,8 @@ func gemmMicro1(c, a, pb []float32, i, k, n, k0, kcur, j0, ncur int) {
 		}
 	}
 	if kk < kcur {
-		b0 := pb[kk*ncur : kk*ncur+ncur]
+		o := bOff + kk*bStride
+		b0 := bp[o : o+ncur]
 		a0 := ai[kk]
 		_ = ci[len(b0)-1]
 		for j, v := range b0 {

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -171,6 +172,140 @@ func TestTransposeGolden(t *testing.T) {
 		if MaxAbsDiff(back, a) != 0 {
 			t.Fatalf("%dx%d: double transpose is not identity", m, n)
 		}
+	}
+}
+
+// v2Shapes stresses the shared-pack pipeline's edges: m below the worker
+// count (shared pack is the point of that regime), k below every kc
+// candidate, n below every nc candidate, single-row and single-column
+// outputs, panel-boundary remainders, and shapes spanning several panels.
+var v2Shapes = [][3]int{
+	{1, 16, 16},   // m=1: micro1-only sweep
+	{4, 16, 1},    // n=1: one-column panels
+	{3, 300, 40},  // m below gemmMR after chunking
+	{5, 700, 130}, // k spans panels with remainder, n just over one nc
+	{8, 64, 520},  // n spans nc candidates with remainder
+	{31, 257, 129},
+	{64, 512, 256}, // exact panel multiples
+	{97, 1030, 70},
+}
+
+// TestGEMMV2CandidatesGolden pins every autotune candidate against the
+// naive reference at the degenerate shapes, under a worker count larger
+// than m for the small shapes (the regime the shared pack exists for). It
+// also asserts the candidates agree BITWISE: all kc candidates are even,
+// so the pairwise k-association is identical and the autotuner's choice
+// can never change results.
+func TestGEMMV2CandidatesGolden(t *testing.T) {
+	old := SetWorkers(8)
+	defer SetWorkers(old)
+	rng := NewRNG(47)
+	for _, s := range v2Shapes {
+		m, k, n := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a, b := New(m, k), New(k, n)
+			fillSeq(a, rng)
+			fillSeq(b, rng)
+			want := refMatMul(a, b)
+			var first *Tensor
+			for ci, cand := range tuneCands {
+				got := New(m, n)
+				gemmV2(got.data, a.data, b.data, m, k, n, false, cand)
+				if d := MaxAbsDiff(got, want); d > tol(k) {
+					t.Fatalf("candidate %d (%+v): differs from naive by %g", ci, cand, d)
+				}
+				if first == nil {
+					first = got
+				} else if d := MaxAbsDiff(got, first); d != 0 {
+					t.Fatalf("candidate %d (%+v): not bitwise-equal to candidate 0 (diff %g)", ci, cand, d)
+				}
+				// Accumulating form: C = seed + A·B.
+				acc := New(m, n)
+				fillSeq(acc, rng)
+				wantAcc := acc.Clone()
+				Add(wantAcc, want)
+				gemmV2(acc.data, a.data, b.data, m, k, n, true, cand)
+				if d := MaxAbsDiff(acc, wantAcc); d > tol(k) {
+					t.Fatalf("candidate %d (%+v) accumulate: differs by %g", ci, cand, d)
+				}
+			}
+		})
+	}
+}
+
+// TestMatMulSharedPanelRace hammers MatMulInto from many goroutines so
+// concurrent calls contend on the shared panel buffer pool, the autotune
+// table and the worker pool. Run under -race in CI; correctness of each
+// result is also checked.
+func TestMatMulSharedPanelRace(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	rng := NewRNG(48)
+	shapes := [][3]int{{40, 300, 64}, {8, 512, 128}, {130, 96, 33}}
+	type prob struct {
+		a, b, want *Tensor
+	}
+	probs := make([]prob, len(shapes))
+	for i, s := range shapes {
+		a, b := New(s[0], s[1]), New(s[1], s[2])
+		fillSeq(a, rng)
+		fillSeq(b, rng)
+		probs[i] = prob{a: a, b: b, want: refMatMul(a, b)}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := probs[g%len(probs)]
+			m, n := p.a.shape[0], p.b.shape[1]
+			c := New(m, n)
+			for it := 0; it < 25; it++ {
+				MatMulInto(c, p.a, p.b, false)
+				if d := MaxAbsDiff(c, p.want); d > tol(p.a.shape[1]) {
+					errs <- fmt.Errorf("goroutine %d iter %d: diff %g", g, it, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTuneTablePersistence round-trips autotuner decisions through the
+// JSON table: a loaded table must skip probing and reproduce the same
+// blocking choice.
+func TestTuneTablePersistence(t *testing.T) {
+	ResetTuneTable()
+	defer ResetTuneTable()
+	a, b, c := New(24, 200), New(200, 48), New(24, 48)
+	rng := NewRNG(49)
+	fillSeq(a, rng)
+	fillSeq(b, rng)
+	e := tuneFor(24, 200, 48)
+	for i := 0; i < 4*len(tuneCands)*tuneProbeRuns && e.chosen.Load() < 0; i++ {
+		gemm(c.data, a.data, b.data, 24, 200, 48, false)
+	}
+	if e.chosen.Load() < 0 {
+		t.Fatal("autotuner did not decide after probe budget")
+	}
+	chosen := e.chosen.Load()
+	path := t.TempDir() + "/tune.json"
+	if err := SaveTuneTable(path); err != nil {
+		t.Fatal(err)
+	}
+	ResetTuneTable()
+	if err := LoadTuneTable(path); err != nil {
+		t.Fatal(err)
+	}
+	e2 := tuneFor(24, 200, 48)
+	if got := e2.chosen.Load(); got != chosen {
+		t.Fatalf("reloaded choice %d, want %d", got, chosen)
 	}
 }
 

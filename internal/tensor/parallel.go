@@ -11,12 +11,3 @@ import "github.com/sparse-dl/samo/internal/parallel"
 // partitioning is static, and no kernel reduces across goroutines
 // non-deterministically).
 func SetWorkers(n int) int { return parallel.SetWorkers(n) }
-
-// parallelFor runs fn(lo, hi) over a static partition of [0, n) on the
-// persistent worker pool. grain is the minimum chunk size below which the
-// loop runs serially — dispatch overhead dominates tiny kernels. The
-// closure may escape (one allocation); allocation-free kernels use
-// parallel.Run with pooled job structs instead.
-func parallelFor(n, grain int, fn func(lo, hi int)) {
-	parallel.For(n, grain, fn)
-}

@@ -101,10 +101,15 @@ func (t *Tensor) offset(idx []int) int {
 // Reshape returns a view of t with a new shape (same backing data). One
 // dimension may be -1, in which case it is inferred.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
-	shape = append([]int(nil), shape...)
+	// Copy into a fresh variable rather than reassigning the parameter:
+	// a reassigned variadic parameter is marked leaking by escape
+	// analysis, which would force every caller (Arena.ViewOf among them)
+	// to heap-allocate its shape literal on the non-panic path.
+	sh := make([]int, len(shape))
+	copy(sh, shape)
 	infer := -1
 	n := 1
-	for i, d := range shape {
+	for i, d := range sh {
 		if d == -1 {
 			if infer >= 0 {
 				panic("tensor: at most one -1 dimension in Reshape")
@@ -116,15 +121,15 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	if infer >= 0 {
 		if n == 0 || len(t.data)%n != 0 {
-			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, sh))
 		}
-		shape[infer] = len(t.data) / n
-		n *= shape[infer]
+		sh[infer] = len(t.data) / n
+		n *= sh[infer]
 	}
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: reshape %v to %v changes element count", t.shape, shape))
+		panic(fmt.Sprintf("tensor: reshape %v to %v changes element count", t.shape, sh))
 	}
-	return &Tensor{shape: shape, data: t.data}
+	return &Tensor{shape: sh, data: t.data}
 }
 
 // Clone returns a deep copy of t.

@@ -1,36 +1,61 @@
 #!/usr/bin/env bash
 # bench.sh — regression harness for the kernel and training hot paths.
 #
-# Runs the kernel-path benchmarks (seed saxpy GEMM vs packed micro-kernel at
-# the Figure 1 FC shapes, transposed products, compress/expand) plus the
+# Runs the kernel-path benchmarks (seed saxpy GEMM vs packed v1 vs the
+# autotuned shared-pack v2 at the Figure 1 FC shapes plus the small-m
+# backward shapes, transposed products, compress/expand) and the
 # experiment-level suites (Figure1Kernels, Table2Throughput,
-# EndToEndParallelStep, SerialTrainStep) and writes BENCH_kernels.json at
+# EndToEndParallelStep, SerialTrainStep), then writes BENCH_kernels.json at
 # the repository root with ns/op, B/op and allocs/op per benchmark, the
-# packed-vs-seed GEMM speedups, and the machine fingerprint.
+# GEMM speedup matrix (packed-vs-seed, shared-vs-seed, shared-vs-packed,
+# small-m shared-vs-packed) and the machine fingerprint.
+#
+# The script FAILS (non-zero exit) if the packed or shared-pack kernel
+# regresses below MIN_GEMM_SPEEDUP (default 1.5x) over the seed kernel on
+# any Figure-1 FC shape — the repo's floor for the kernel-path win.
+# 1.5x holds on dedicated hardware; on shared/virtualized machines the
+# seed kernel's memory-light loop swings with clock and steal state (we
+# have measured the same binary at 2.9 and 4.6 GFLOPS an hour apart, and
+# the committed baseline from a shared dev box records 1.37-1.54x), so
+# such environments — CI included — set MIN_GEMM_SPEEDUP=1.2: a broken
+# pack path lands near 1.0x, so the relaxed floor still catches real
+# regressions without tripping on scheduler noise.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s; raise for stabler
-# numbers, or pass e.g. 3x for a quick smoke run)
+# numbers, or pass e.g. 3x for a quick smoke run — count-based benchtimes
+# are too noisy for the regression gate, which then only warns)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
 OUT="BENCH_kernels.json"
+MIN_GEMM_SPEEDUP="${MIN_GEMM_SPEEDUP:-1.5}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-echo "running kernel benchmarks (benchtime=$BENCHTIME)..." >&2
+echo "running kernel benchmarks (benchtime=$BENCHTIME, count=3)..." >&2
+# count=3 with min-aggregation below: on shared machines a noise burst in
+# one 2s window can swing a 200ms/op benchmark by 10%; the minimum of
+# three runs is the honest kernel speed.
 go test -run '^$' -bench 'BenchmarkGEMM|BenchmarkMatMulT|BenchmarkTMatMul' \
-    -benchmem -benchtime="$BENCHTIME" ./internal/tensor/ | tee -a "$TMP" >&2
+    -benchmem -benchtime="$BENCHTIME" -count=3 ./internal/tensor/ | tee -a "$TMP" >&2
 
 echo "running training-path benchmarks..." >&2
 go test -run '^$' \
     -bench 'BenchmarkFigure1Kernels|BenchmarkTable2Throughput|BenchmarkEndToEndParallelStep|BenchmarkSerialTrainStep|BenchmarkCompressExpandRoundTrip' \
     -benchmem -benchtime="$BENCHTIME" . | tee -a "$TMP" >&2
 
-python3 - "$TMP" "$OUT" <<'EOF'
+GATE=1
+case "$BENCHTIME" in
+    *x) GATE=0 ;; # count-based smoke runs are too noisy to gate on
+esac
+
+python3 - "$TMP" "$OUT" "$MIN_GEMM_SPEEDUP" "$GATE" <<'EOF'
 import json, re, subprocess, sys
 
 lines = open(sys.argv[1]).read().splitlines()
+min_speedup = float(sys.argv[3])
+gate = sys.argv[4] == "1"
 cpu = ""
 results = {}
 for ln in lines:
@@ -44,16 +69,34 @@ for ln in lines:
     for val, unit in re.findall(r"([\d.]+) (B/op|allocs/op|GFLOPS)", ln):
         key = unit.replace("/", "_per_")
         entry[key] = float(val)
-    results[name] = entry
+    # -count>1 repeats a benchmark; keep the fastest run (noise only adds).
+    if name not in results or entry["ns_per_op"] < results[name]["ns_per_op"]:
+        results[name] = entry
 
-speedups = {}
-for name, e in results.items():
-    m = re.match(r"BenchmarkGEMM/packed/(\d+)", name)
-    if m:
-        seed = results.get("BenchmarkGEMM/seed/" + m.group(1))
-        if seed:
-            speedups["gemm_%sx%s" % (m.group(1), m.group(1))] = round(
-                seed["ns_per_op"] / e["ns_per_op"], 3)
+def ratio(slow, fast):
+    if slow in results and fast in results:
+        return round(results[slow]["ns_per_op"] / results[fast]["ns_per_op"], 3)
+    return None
+
+packed_vs_seed, shared_vs_seed, shared_vs_packed = {}, {}, {}
+for name in list(results):
+    m = re.match(r"BenchmarkGEMM/packed/(\d+)$", name)
+    if not m:
+        continue
+    dim = m.group(1)
+    key = "gemm_%sx%s" % (dim, dim)
+    packed_vs_seed[key] = ratio("BenchmarkGEMM/seed/" + dim, "BenchmarkGEMM/packed/" + dim)
+    shared_vs_seed[key] = ratio("BenchmarkGEMM/seed/" + dim, "BenchmarkGEMM/shared/" + dim)
+    shared_vs_packed[key] = ratio("BenchmarkGEMM/packed/" + dim, "BenchmarkGEMM/shared/" + dim)
+
+smallm = {}
+for name in list(results):
+    m = re.match(r"BenchmarkGEMMSmallM/packed/(\d+x\d+)$", name)
+    if not m:
+        continue
+    shape = m.group(1)
+    smallm["gemm_" + shape] = ratio(
+        "BenchmarkGEMMSmallM/packed/" + shape, "BenchmarkGEMMSmallM/shared/" + shape)
 
 go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
 json.dump({
@@ -61,8 +104,29 @@ json.dump({
                    "Regenerate with scripts/bench.sh.",
     "cpu": cpu,
     "go": go_version,
-    "gemm_speedup_packed_vs_seed": speedups,
+    "gemm_speedup_packed_vs_seed": packed_vs_seed,
+    "gemm_speedup_shared_vs_seed": shared_vs_seed,
+    "gemm_speedup_shared_vs_packed": shared_vs_packed,
+    "gemm_smallm_speedup_shared_vs_packed": smallm,
     "benchmarks": dict(sorted(results.items())),
 }, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
+
+# Regression gate: both optimized kernels must hold the floor over the
+# seed kernel on every Figure-1 FC shape.
+failures = []
+for label, table in (("packed", packed_vs_seed), ("shared", shared_vs_seed)):
+    for key, sp in sorted(table.items()):
+        if sp is None:
+            failures.append("%s %s: missing benchmark data" % (label, key))
+        elif sp < min_speedup:
+            failures.append("%s kernel on %s: %.3fx over seed, floor is %.2fx"
+                            % (label, key, sp, min_speedup))
+if failures:
+    msg = ("GEMM kernel regression vs seed baseline:\n  " + "\n  ".join(failures) +
+           "\n(the dense GEMM is the paper's whole lever on throughput; "
+           "do not ship a kernel below the floor)")
+    if gate:
+        sys.exit(msg)
+    print("WARNING (not gating, count-based benchtime):\n" + msg)
 EOF
