@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,10 +19,30 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment names, or 'all': "+
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("samo-experiments", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	exp := fs.String("exp", "all", "comma-separated experiment names, or 'all': "+
 		strings.Join(samo.ExperimentNames(), ","))
-	iters := flag.Int("iters", 200, "training iterations for fig4")
-	flag.Parse()
+	iters := fs.Int("iters", 200, "training iterations for fig4")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	names := samo.ExperimentNames()
 	if *exp != "all" {
@@ -28,12 +50,12 @@ func main() {
 	}
 	for i, name := range names {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		if !samo.RunExperiment(strings.TrimSpace(name), os.Stdout, *iters) {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n",
+		if !samo.RunExperiment(strings.TrimSpace(name), out, *iters) {
+			return fmt.Errorf("unknown experiment %q (valid: %s)",
 				name, strings.Join(samo.ExperimentNames(), ", "))
-			os.Exit(1)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke regenerates the two analytic (non-training) experiments and
+// checks that both sections arrive on the writer.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "memory,table1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := buf.String(); len(got) == 0 {
+		t.Fatal("no experiment output")
+	}
+}
+
+// TestRunUnknownExperiment pins the error path: a bad name must return an
+// error listing the valid experiments, not exit the process.
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-exp", "fig99"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("expected unknown-experiment error, got %v", err)
+	}
+}

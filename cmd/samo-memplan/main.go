@@ -9,8 +9,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"github.com/sparse-dl/samo/internal/core"
 	"github.com/sparse-dl/samo/internal/hw"
@@ -18,14 +21,34 @@ import (
 )
 
 func main() {
-	sparsity := flag.Float64("sparsity", 0.9, "pruned fraction")
-	gpus := flag.Int("gpus", 512, "GPU count to plan for")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("samo-memplan", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	sparsity := fs.Float64("sparsity", 0.9, "pruned fraction")
+	gpus := fs.Int("gpus", 512, "GPU count to plan for")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	m := hw.Summit()
-	fmt.Printf("memory plan at sparsity %.2f on %s (%d GPUs, %.0f GB each)\n\n",
+	fmt.Fprintf(out, "memory plan at sparsity %.2f on %s (%d GPUs, %.0f GB each)\n\n",
 		*sparsity, m.Name, *gpus, float64(m.MemoryBytes)/(1<<30))
-	fmt.Printf("%-16s %12s %12s %10s %14s %14s\n",
+	fmt.Fprintf(out, "%-16s %12s %12s %10s %14s %14s\n",
 		"model", "dense(GB)", "SAMO(GB)", "saved", "dense layout", "SAMO layout")
 
 	for _, j := range simulate.StandardJobs() {
@@ -46,11 +69,12 @@ func main() {
 			}
 			return fmt.Sprintf("Gi=%d Gd=%d", r.Plan.Ginter, r.Plan.Gdata)
 		}
-		fmt.Printf("%-16s %12.2f %12.2f %9.0f%% %14s %14s\n",
+		fmt.Fprintf(out, "%-16s %12.2f %12.2f %9.0f%% %14s %14s\n",
 			j.Name, core.GiB(dense), core.GiB(samoB),
 			100*(1-float64(samoB)/float64(dense)),
 			layout(dp), layout(sp))
 	}
-	fmt.Printf("\nanalytical break-even sparsity: %.2f (below it SAMO costs memory)\n",
+	fmt.Fprintf(out, "\nanalytical break-even sparsity: %.2f (below it SAMO costs memory)\n",
 		core.BreakEvenSparsity)
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke plans the full model zoo at a small GPU count and checks the
+// report structure: the table header, one row per standard job, and the
+// break-even line.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-gpus", "16", "-sparsity", "0.8"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{"memory plan at sparsity 0.80", "dense(GB)", "break-even sparsity"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunRejectsBadFlag pins the error path for unknown flags.
+func TestRunRejectsBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	samo "github.com/sparse-dl/samo"
@@ -17,14 +19,34 @@ import (
 )
 
 func main() {
-	ginter := flag.Int("ginter", 2, "pipeline stages (inter-layer parallelism)")
-	gdata := flag.Int("gdata", 2, "data-parallel groups")
-	useSAMO := flag.Bool("samo", false, "enable SAMO-compressed model states")
-	sparsity := flag.Float64("sparsity", 0.9, "pruned fraction when -samo is set")
-	iters := flag.Int("iters", 100, "training iterations")
-	hidden := flag.Int("hidden", 48, "model width")
-	layers := flag.Int("layers", 2, "transformer blocks")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("samo-train", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	ginter := fs.Int("ginter", 2, "pipeline stages (inter-layer parallelism)")
+	gdata := fs.Int("gdata", 2, "data-parallel groups")
+	useSAMO := fs.Bool("samo", false, "enable SAMO-compressed model states")
+	sparsity := fs.Float64("sparsity", 0.9, "pruned fraction when -samo is set")
+	iters := fs.Int("iters", 100, "training iterations")
+	hidden := fs.Int("hidden", 48, "model width")
+	layers := fs.Int("layers", 2, "transformer blocks")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	cfg := samo.GPTConfig{Name: "cli", Layers: *layers, Hidden: *hidden,
 		Heads: 4, Seq: 12, Vocab: 48}
@@ -35,7 +57,7 @@ func main() {
 	if *useSAMO {
 		ticket = samo.PruneMagnitude(build(), *sparsity)
 		mode = samo.ModeSAMO
-		fmt.Printf("pruned %d of %d prunable parameters (%.0f%% sparsity)\n",
+		fmt.Fprintf(out, "pruned %d of %d prunable parameters (%.0f%% sparsity)\n",
 			ticket.TotalParams()-ticket.KeptParams(), ticket.TotalParams(),
 			100*ticket.Sparsity())
 	}
@@ -52,20 +74,20 @@ func main() {
 
 	pcfg := samo.ParallelConfig{Ginter: *ginter, Gdata: *gdata, Microbatch: 1, Mode: mode}
 	if pcfg.Ginter > len(build().Layers) {
-		fmt.Fprintf(os.Stderr, "ginter %d exceeds %d layers\n", pcfg.Ginter, len(build().Layers))
-		os.Exit(1)
+		return fmt.Errorf("ginter %d exceeds %d layers", pcfg.Ginter, len(build().Layers))
 	}
-	fmt.Printf("training %s on %d virtual GPUs (Ginter=%d × Gdata=%d), mode=%v\n",
+	fmt.Fprintf(out, "training %s on %d virtual GPUs (Ginter=%d × Gdata=%d), mode=%v\n",
 		cfg.Name, pcfg.GPUs(), pcfg.Ginter, pcfg.Gdata, mode)
 
 	res := samo.Train(pcfg, build, func() samo.Optimizer { return samo.NewAdamW(3e-3, 0.01) },
 		ticket, batches)
 	for i, l := range res.Losses {
 		if i%10 == 0 || i == len(res.Losses)-1 {
-			fmt.Printf("iter %4d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
+			fmt.Fprintf(out, "iter %4d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
 		}
 	}
-	fmt.Printf("skipped steps (loss-scale overflow): %d\n", res.SkippedSteps)
-	fmt.Printf("p2p elements moved: %d; collective elements: %d\n",
+	fmt.Fprintf(out, "skipped steps (loss-scale overflow): %d\n", res.SkippedSteps)
+	fmt.Fprintf(out, "p2p elements moved: %d; collective elements: %d\n",
 		res.Fabric.TotalP2PElements(), res.Fabric.TotalCollElements())
+	return nil
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke trains a deliberately tiny configuration end to end through
+// the real hybrid-parallel engine, in both dense and SAMO modes.
+func TestRunSmoke(t *testing.T) {
+	for _, args := range [][]string{
+		{"-iters", "3", "-ginter", "1", "-gdata", "1", "-hidden", "16", "-layers", "1"},
+		{"-iters", "3", "-ginter", "2", "-gdata", "1", "-hidden", "16", "-layers", "2", "-samo"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		got := buf.String()
+		if !strings.Contains(got, "training cli on") || !strings.Contains(got, "iter") {
+			t.Errorf("run(%v) output missing training report:\n%s", args, got)
+		}
+	}
+}
+
+// TestRunHelp pins the -h contract: usage on the output writer and a nil
+// error (a clean exit), not a parse failure.
+func TestRunHelp(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+	if !strings.Contains(buf.String(), "-ginter") {
+		t.Errorf("-h output missing flag usage:\n%s", buf.String())
+	}
+}
+
+// TestRunRejectsBadLayout pins the error path: more pipeline stages than
+// layers must fail with an error, not exit the process.
+func TestRunRejectsBadLayout(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-iters", "1", "-ginter", "5", "-layers", "1", "-hidden", "16"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("expected ginter-exceeds-layers error, got %v", err)
+	}
+}

@@ -5,24 +5,53 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	samo "github.com/sparse-dl/samo"
 	"github.com/sparse-dl/samo/internal/data"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the example: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cnn_dataparallel", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	iters := fs.Int("iters", 40, "training iterations per mode")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be >= 1 (got %d)", *iters)
+	}
+
 	const classes = 4
 	build := func() *samo.Model {
 		return samo.NewVGG("vgg-mini", []int{8, -1, 16, -1}, 2, 8, classes, samo.NewRNG(3))
 	}
-	fmt.Printf("model: vgg-mini, %d parameters; 4 data-parallel virtual GPUs\n", build().NumParams())
+	fmt.Fprintf(out, "model: vgg-mini, %d parameters; 4 data-parallel virtual GPUs\n", build().NumParams())
 
 	images := data.SynthImages("synthimages", classes, 2, 8, 8, 5)
-	const iters = 40
 	makeBatches := func() []samo.Batch {
 		var batches []samo.Batch
-		for i := 0; i < iters; i++ {
+		for i := 0; i < *iters; i++ {
 			b, _ := images.Batch(16)
 			batches = append(batches, b)
 		}
@@ -32,25 +61,26 @@ func main() {
 	pcfg := samo.ParallelConfig{Ginter: 1, Gdata: 4, Microbatch: 4, Mode: samo.ModeDense}
 	optb := func() samo.Optimizer { return samo.NewSGD(0.05, 0.9, 5e-4) }
 
-	fmt.Println("\n--- dense data parallelism ---")
+	fmt.Fprintln(out, "\n--- dense data parallelism ---")
 	dense := samo.Train(pcfg, build, optb, nil, makeBatches())
-	show(dense)
+	show(out, dense)
 
-	fmt.Println("\n--- SAMO data parallelism (90% pruned, compressed all-reduce) ---")
+	fmt.Fprintln(out, "\n--- SAMO data parallelism (90% pruned, compressed all-reduce) ---")
 	ticket := samo.PruneMagnitude(build(), 0.9)
 	pcfg.Mode = samo.ModeSAMO
 	sres := samo.Train(pcfg, build, optb, ticket, makeBatches())
-	show(sres)
+	show(out, sres)
 
 	d, s := dense.Fabric.TotalCollElements(), sres.Fabric.TotalCollElements()
-	fmt.Printf("\nall-reduce payload: dense %d elements vs SAMO %d (%.1fx reduction)\n",
+	fmt.Fprintf(out, "\nall-reduce payload: dense %d elements vs SAMO %d (%.1fx reduction)\n",
 		d, s, float64(d)/float64(s))
+	return nil
 }
 
-func show(r samo.ParallelResult) {
+func show(out io.Writer, r samo.ParallelResult) {
 	for i, l := range r.Losses {
 		if i%10 == 0 || i == len(r.Losses)-1 {
-			fmt.Printf("iter %3d  loss %.4f\n", i, l)
+			fmt.Fprintf(out, "iter %3d  loss %.4f\n", i, l)
 		}
 	}
 }

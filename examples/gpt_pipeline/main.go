@@ -8,7 +8,11 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	samo "github.com/sparse-dl/samo"
 	"github.com/sparse-dl/samo/internal/data"
@@ -16,17 +20,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the example: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gpt_pipeline", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	iters := fs.Int("iters", 80, "training iterations per mode")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters must be >= 1 (got %d)", *iters)
+	}
+
 	cfg := samo.GPTConfig{Name: "gpt-mini", Layers: 2, Hidden: 48, Heads: 4, Seq: 12, Vocab: 48}
 	build := func() *samo.Model { return samo.NewGPT(cfg, samo.NewRNG(7)) }
-	fmt.Printf("model: %s, %d parameters, trained on 4 virtual GPUs (2 stages x 2 replicas)\n",
+	fmt.Fprintf(out, "model: %s, %d parameters, trained on 4 virtual GPUs (2 stages x 2 replicas)\n",
 		cfg.Name, build().NumParams())
 
 	corpus := data.SynthText("synthtext", cfg.Vocab, 20000, 11)
-	const iters = 80
 	makeBatches := func() []samo.Batch {
 		var batches []samo.Batch
 		cursor := 0
-		for i := 0; i < iters; i++ {
+		for i := 0; i < *iters; i++ {
 			b, c := corpus.LMBatch(cursor, 8, cfg.Seq)
 			cursor = c
 			batches = append(batches, b)
@@ -37,28 +66,29 @@ func main() {
 	pcfg := samo.ParallelConfig{Ginter: 2, Gdata: 2, Microbatch: 1, Mode: samo.ModeDense}
 	optb := func() samo.Optimizer { return samo.NewAdamW(3e-3, 0.01) }
 
-	fmt.Println("\n--- dense AxoNN ---")
+	fmt.Fprintln(out, "\n--- dense AxoNN ---")
 	dense := samo.Train(pcfg, build, optb, nil, makeBatches())
-	report(dense)
+	report(out, dense)
 
-	fmt.Println("\n--- AxoNN+SAMO (90% pruned) ---")
+	fmt.Fprintln(out, "\n--- AxoNN+SAMO (90% pruned) ---")
 	ticket := samo.PruneMagnitude(build(), 0.9)
 	pcfg.Mode = samo.ModeSAMO
 	samoRes := samo.Train(pcfg, build, optb, ticket, makeBatches())
-	report(samoRes)
+	report(out, samoRes)
 
-	fmt.Printf("\ncollective elements per run: dense %d vs SAMO %d (%.1fx smaller all-reduce)\n",
+	fmt.Fprintf(out, "\ncollective elements per run: dense %d vs SAMO %d (%.1fx smaller all-reduce)\n",
 		dense.Fabric.TotalCollElements(), samoRes.Fabric.TotalCollElements(),
 		float64(dense.Fabric.TotalCollElements())/float64(samoRes.Fabric.TotalCollElements()))
 	df := dense.Losses[len(dense.Losses)-1]
 	sf := samoRes.Losses[len(samoRes.Losses)-1]
-	fmt.Printf("final perplexity: dense %.2f vs SAMO %.2f\n", nn.Perplexity(df), nn.Perplexity(sf))
+	fmt.Fprintf(out, "final perplexity: dense %.2f vs SAMO %.2f\n", nn.Perplexity(df), nn.Perplexity(sf))
+	return nil
 }
 
-func report(r samo.ParallelResult) {
+func report(out io.Writer, r samo.ParallelResult) {
 	for i, l := range r.Losses {
 		if i%20 == 0 || i == len(r.Losses)-1 {
-			fmt.Printf("iter %3d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
+			fmt.Fprintf(out, "iter %3d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
 		}
 	}
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the dense and SAMO pipeline configurations for a couple
+// of iterations over the real hybrid-parallel engine.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-iters", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{"dense AxoNN", "AxoNN+SAMO", "final perplexity"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunRejectsZeroIters pins the validation added with the -iters flag:
+// zero iterations used to panic indexing the empty loss series.
+func TestRunRejectsZeroIters(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-iters", "0"}, &buf); err == nil {
+		t.Fatal("expected -iters validation error")
+	}
+}

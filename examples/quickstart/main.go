@@ -3,20 +3,47 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	samo "github.com/sparse-dl/samo"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the example: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("quickstart", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	steps := fs.Int("steps", 200, "training steps")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+
 	// 1. Build a model.
 	rng := samo.NewRNG(42)
 	model := samo.NewMLP("quickstart", []int{16, 64, 64, 4}, rng)
-	fmt.Printf("model: %d parameters\n", model.NumParams())
+	fmt.Fprintf(out, "model: %d parameters\n", model.NumParams())
 
 	// 2. Prune 90% of the weights by magnitude (the paper's setting).
 	ticket := samo.PruneMagnitude(model, 0.9)
-	fmt.Printf("pruned to %.0f%% sparsity: %d of %d prunable weights survive\n",
+	fmt.Fprintf(out, "pruned to %.0f%% sparsity: %d of %d prunable weights survive\n",
 		100*ticket.Sparsity(), ticket.KeptParams(), ticket.TotalParams())
 
 	// 3. Enable SAMO: θ16 stays dense for fast kernels; θ32, gradients and
@@ -26,10 +53,10 @@ func main() {
 	// Compare against what dense mixed precision would cost.
 	denseModel := samo.NewMLP("dense-ref", []int{16, 64, 64, 4}, samo.NewRNG(42))
 	denseState := samo.NewState(denseModel, samo.NewAdam(0.005), samo.ModeDense, nil)
-	fmt.Printf("model-state memory: dense %d bytes -> SAMO %d bytes (%.0f%% saved)\n",
+	fmt.Fprintf(out, "model-state memory: dense %d bytes -> SAMO %d bytes (%.0f%% saved)\n",
 		denseState.Memory().Total(), state.Memory().Total(),
 		100*(1-float64(state.Memory().Total())/float64(denseState.Memory().Total())))
-	fmt.Printf("analytical prediction at p=0.9: %.0f%% saved\n", samo.MemorySavingsPercent(0.9))
+	fmt.Fprintf(out, "analytical prediction at p=0.9: %.0f%% saved\n", samo.MemorySavingsPercent(0.9))
 
 	// 4. Train on a toy task: classify by the sign pattern of two features.
 	trainer := samo.NewTrainer(state)
@@ -46,13 +73,14 @@ func main() {
 		}
 		targets[i] = k
 	}
-	fmt.Printf("initial loss: %.4f\n", trainer.EvalLoss(x, targets))
-	for step := 1; step <= 200; step++ {
+	fmt.Fprintf(out, "initial loss: %.4f\n", trainer.EvalLoss(x, targets))
+	for step := 1; step <= *steps; step++ {
 		loss, _ := trainer.TrainStep(x, targets)
 		if step%50 == 0 {
-			fmt.Printf("step %3d: loss %.4f\n", step, loss)
+			fmt.Fprintf(out, "step %3d: loss %.4f\n", step, loss)
 		}
 	}
-	fmt.Printf("final loss: %.4f (pruned coordinates stayed exactly zero throughout)\n",
+	fmt.Fprintf(out, "final loss: %.4f (pruned coordinates stayed exactly zero throughout)\n",
 		trainer.EvalLoss(x, targets))
+	return nil
 }

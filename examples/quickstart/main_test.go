@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke walks the whole quickstart — build, prune, SAMO state,
+// memory ledger, a few training steps — at a tiny step count.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-steps", "5"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{"pruned to 90% sparsity", "model-state memory", "final loss"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

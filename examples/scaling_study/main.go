@@ -5,52 +5,74 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	samo "github.com/sparse-dl/samo"
 )
 
 func main() {
-	modelName := flag.String("model", "2.7B", "GPT model: XL, 2.7B, 6.7B or 13B")
-	sparsity := flag.Float64("sparsity", 0.9, "pruned fraction for SAMO")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the example: flags parse from args, output
+// goes to out, and failures return instead of exiting the process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scaling_study", flag.ContinueOnError)
+	// Parse errors are returned (main prints them once, to stderr);
+	// -h gets the usage on the success writer and a clean exit.
+	fs.SetOutput(io.Discard)
+	modelName := fs.String("model", "2.7B", "GPT model: XL, 2.7B, 6.7B or 13B")
+	sparsity := fs.Float64("sparsity", 0.9, "pruned fraction for SAMO")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	configs := map[string]samo.GPTConfig{
 		"XL": samo.GPT3XL, "2.7B": samo.GPT3o2B7, "6.7B": samo.GPT3o6B7, "13B": samo.GPT3o13B,
 	}
 	cfg, ok := configs[*modelName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q (XL, 2.7B, 6.7B, 13B)\n", *modelName)
-		os.Exit(1)
+		return fmt.Errorf("unknown model %q (XL, 2.7B, 6.7B, 13B)", *modelName)
 	}
 
 	m := samo.Summit()
-	fmt.Printf("strong scaling of %s (batch %d) on %s, sparsity %.2f\n\n",
+	fmt.Fprintf(out, "strong scaling of %s (batch %d) on %s, sparsity %.2f\n\n",
 		cfg.Name, cfg.BatchSize, m.Name, *sparsity)
-	fmt.Printf("%6s %12s %12s %9s %30s\n", "GPUs", "AxoNN(s)", "+SAMO(s)", "speedup", "SAMO breakdown (cmp/p2p/bub/col)")
+	fmt.Fprintf(out, "%6s %12s %12s %9s %30s\n", "GPUs", "AxoNN(s)", "+SAMO(s)", "speedup", "SAMO breakdown (cmp/p2p/bub/col)")
 
 	for g := cfg.MinGPUs; g <= cfg.MaxGPUs; g *= 2 {
 		ax := samo.EstimateGPT(cfg, m, g, false, *sparsity)
 		sa := samo.EstimateGPT(cfg, m, g, true, *sparsity)
 		if !ax.Feasible || !sa.Feasible {
-			fmt.Printf("%6d  infeasible\n", g)
+			fmt.Fprintf(out, "%6d  infeasible\n", g)
 			continue
 		}
-		fmt.Printf("%6d %12.3f %12.3f %8.0f%% %10.2f/%.2f/%.2f/%.2f\n",
+		fmt.Fprintf(out, "%6d %12.3f %12.3f %8.0f%% %10.2f/%.2f/%.2f/%.2f\n",
 			g, ax.BatchTime, sa.BatchTime,
 			100*(ax.BatchTime-sa.BatchTime)/ax.BatchTime,
 			sa.Compute, sa.P2P, sa.Bubble, sa.Collective)
 	}
 
-	fmt.Printf("\ndevice layouts at %d GPUs:\n", cfg.MaxGPUs)
+	fmt.Fprintf(out, "\ndevice layouts at %d GPUs:\n", cfg.MaxGPUs)
 	ax := samo.EstimateGPT(cfg, m, cfg.MaxGPUs, false, *sparsity)
 	sa := samo.EstimateGPT(cfg, m, cfg.MaxGPUs, true, *sparsity)
-	fmt.Printf("  AxoNN: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
+	fmt.Fprintf(out, "  AxoNN: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
 		ax.Plan.Ginter, ax.Plan.Gdata, ax.Plan.Micro)
-	fmt.Printf("  +SAMO: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
+	fmt.Fprintf(out, "  +SAMO: Ginter=%d x Gdata=%d (%d microbatches/pipeline)\n",
 		sa.Plan.Ginter, sa.Plan.Gdata, sa.Plan.Micro)
-	fmt.Printf("\nutilization: AxoNN %.1f%% vs SAMO %.1f%% of aggregate fp16 peak\n",
+	fmt.Fprintf(out, "\nutilization: AxoNN %.1f%% vs SAMO %.1f%% of aggregate fp16 peak\n",
 		100*ax.PeakFraction, 100*sa.PeakFraction)
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke sweeps the smallest Table I model through the analytic
+// simulator and checks the report structure.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-model", "XL"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{"strong scaling of", "device layouts", "utilization"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunUnknownModel pins the error path.
+func TestRunUnknownModel(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-model", "9000B"}, &buf); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}

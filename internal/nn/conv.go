@@ -71,8 +71,10 @@ func (c *Conv2d) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *t
 	// dcols (n·oh·ow, inC·k·k) = gRows · W
 	dCols := a.Get(cc.n*oh*ow, c.Spec.InC*c.Spec.Kernel*c.Spec.Kernel)
 	tensor.MatMulInto(dCols, gRows, c.W.Value, false)
-	dx := a.GetZeroed(cc.n, c.Spec.InC, c.Spec.InH, c.Spec.InW)
-	tensor.Col2ImInto(dx, dCols, c.Spec, cc.n)
+	// Col2ImZeroInto runs the parallel gather kernel and zeroes each output
+	// strip in-worker, so the arena tensor needs no serial pre-zeroing pass.
+	dx := a.Get(cc.n, c.Spec.InC, c.Spec.InH, c.Spec.InW)
+	tensor.Col2ImZeroInto(dx, dCols, c.Spec, cc.n)
 	cc.cols = nil
 	convCaches.Put(cc)
 	return dx

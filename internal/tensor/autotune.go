@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,29 +20,51 @@ import (
 // once every candidate has enough samples the winner is frozen into the
 // entry and all later calls take it branch-free.
 //
-// The table can be persisted (SaveTuneTable) and pre-loaded (LoadTuneTable,
-// or automatically from the file named by SAMO_GEMM_TUNE at init) so long
-// sweeps and benchmarks skip the probe phase entirely.
+// Decisions persist by default: whenever a bucket first freezes, a
+// background goroutine writes the table to TunePath() — SAMO_GEMM_TUNE if
+// set, else <user cache dir>/samo/gemm_tune.json — and init pre-loads that
+// file, so later processes skip the probe phase for every bucket a
+// long-enough earlier run managed to save (best-effort: a process exiting
+// within the save's short coalescing window loses that write and simply
+// re-probes next time). SAMO_GEMM_TUNE=off disables persistence;
+// SaveTuneTable and LoadTuneTable remain for explicit control. Loading a
+// stale or foreign table is always safe: every candidate is
+// bitwise-identical, so the worst case is a suboptimal blocking until
+// drift probes correct it.
 
 // tuneCand is one candidate blocking: pack=true runs the BLIS-style shared
 // panel pipeline with kc×nc packed panels; pack=false runs the direct-B
 // micro-kernel (no packing), which wins when m is so small that a panel
 // would be swept only once or twice and the pack traffic cannot amortize.
+// strip=true packs the panel in 8-wide k-major column strips and sweeps it
+// with the v3 strip kernel (eight register accumulators per C row, one C
+// memory round-trip per panel). mc>0 blocks the C rows: the panel loop —
+// including the pack — reruns per mc-row block, trading repeated pack
+// traffic for a cache-resident C block on tall m.
 type tuneCand struct {
 	kc, nc int
 	pack   bool
+	strip  bool
+	mc     int
 }
 
 // tuneCands are the probe candidates. The first entry is the v1 default
-// blocking (kc·nc·4 = 128 KiB, L2-resident); the alternatives trade panel
+// blocking (kc·nc·4 = 128 KiB, L2-resident); the next two trade panel
 // height against width (taller panels amortize the sweep's C row traffic
-// over more k, wider panels cut the number of j0 passes over A), and the
-// last skips packing entirely for pack-dominated small-m shapes.
-var tuneCands = [4]tuneCand{
+// over more k, wider panels cut the number of j0 passes over A); the
+// fourth skips packing entirely for pack-dominated small-m shapes; the
+// fifth probes mc row blocking for tall-m shapes; and the last two are the
+// v3 strip kernel at narrow and tall blockings. Every kc is even and every
+// nc a multiple of 8, which is what keeps all candidates bitwise-identical
+// (see gemmV2) and strip panels inside packBufCap.
+var tuneCands = [...]tuneCand{
 	{kc: 256, nc: 128, pack: true},
 	{kc: 128, nc: 256, pack: true},
 	{kc: 512, nc: 256, pack: true},
 	{kc: 256, nc: 512, pack: false},
+	{kc: 256, nc: 128, pack: true, mc: 128},
+	{kc: 256, nc: 128, pack: true, strip: true},
+	{kc: 512, nc: 256, pack: true, strip: true},
 }
 
 // tuneProbeRuns is how many timed samples each candidate gets before the
@@ -144,7 +167,17 @@ func (e *tuneEntry) record(idx int, d time.Duration, work int) {
 				win = i
 			}
 		}
-		e.chosen.Store(int32(win))
+		// The initial freeze marks the table dirty for the background
+		// saver. Later drift-probe corrections update the in-process
+		// choice but are deliberately NOT persisted: a winner flip can
+		// happen at any point of a training run, and waking the saver
+		// then would put filesystem work (and its allocations) inside
+		// the steady state the zero-alloc contracts pin. The corrected
+		// choice is bitwise-identical anyway; the next process simply
+		// starts from the previously saved winner.
+		if e.chosen.Swap(int32(win)) == -1 {
+			scheduleTuneSave()
+		}
 	}
 	e.mu.Unlock()
 }
@@ -188,12 +221,14 @@ func ResetTuneTable() {
 
 // tuneRecord is the persisted form of one decided bucket.
 type tuneRecord struct {
-	MB   uint8 `json:"mb"`
-	KB   uint8 `json:"kb"`
-	NB   uint8 `json:"nb"`
-	KC   int   `json:"kc"`
-	NC   int   `json:"nc"`
-	Pack bool  `json:"pack"`
+	MB    uint8 `json:"mb"`
+	KB    uint8 `json:"kb"`
+	NB    uint8 `json:"nb"`
+	KC    int   `json:"kc"`
+	NC    int   `json:"nc"`
+	Pack  bool  `json:"pack"`
+	Strip bool  `json:"strip,omitempty"`
+	MC    int   `json:"mc,omitempty"`
 }
 
 type tuneFile struct {
@@ -201,8 +236,9 @@ type tuneFile struct {
 	Entries     []tuneRecord `json:"entries"`
 }
 
-// SaveTuneTable writes every decided bucket to path as JSON. Undecided
-// buckets (still probing) are skipped.
+// SaveTuneTable writes every decided bucket to path as JSON (written to a
+// temp file and renamed, so concurrent readers never observe a partial
+// table). Undecided buckets (still probing) are skipped.
 func SaveTuneTable(path string) error {
 	var f tuneFile
 	f.Description = "SAMO GEMM autotuner decisions, keyed by ceil(log2) shape buckets. " +
@@ -215,14 +251,93 @@ func SaveTuneTable(path string) error {
 		}
 		c := tuneCands[idx]
 		f.Entries = append(f.Entries, tuneRecord{
-			MB: k.mb, KB: k.kb, NB: k.nb, KC: c.kc, NC: c.nc, Pack: c.pack})
+			MB: k.mb, KB: k.kb, NB: k.nb,
+			KC: c.kc, NC: c.nc, Pack: c.pack, Strip: c.strip, MC: c.mc})
 	}
 	tuneTable.mu.RUnlock()
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// TunePath resolves where autotuner decisions persist: the file named by
+// SAMO_GEMM_TUNE if set ("off" disables persistence entirely and returns
+// ""), else gemm_tune.json under a samo directory in the user cache dir.
+// Resolved on every call so tests can redirect it with a scoped setenv.
+func TunePath() string {
+	switch p := os.Getenv("SAMO_GEMM_TUNE"); p {
+	case "off":
+		return ""
+	case "":
+		dir, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(dir, "samo", "gemm_tune.json")
+	default:
+		return p
+	}
+}
+
+// tuneSave is the background persistence machinery: record() marks the
+// table dirty whenever a bucket's winner changes, and a single lazily
+// started saver goroutine debounces the startup freeze burst into one
+// atomic write of TunePath(). Callers never allocate (a channel send on a
+// buffered channel), which keeps the drift-probe path inside the training
+// steps' zero-allocation contract. Persistence is best-effort: a save that
+// loses the process race, fails to write, or is cut off by process exit
+// inside the coalescing window (Go has no exit hook) just means the next
+// run re-probes the affected buckets.
+var tuneSave struct {
+	once sync.Once
+	kick chan struct{}
+}
+
+func scheduleTuneSave() {
+	// With persistence disabled (SAMO_GEMM_TUNE=off) the freeze path stays
+	// completely inert — no saver goroutine, no channel — so tests pinning
+	// process-wide allocation counts can opt out hermetically.
+	if TunePath() == "" {
+		return
+	}
+	tuneSave.once.Do(func() {
+		tuneSave.kick = make(chan struct{}, 1)
+		go tuneSaverLoop()
+	})
+	select {
+	case tuneSave.kick <- struct{}{}:
+	default:
+	}
+}
+
+func tuneSaverLoop() {
+	for range tuneSave.kick {
+		// Brief coalescing window: at startup several hot buckets freeze
+		// within a few steps of each other and one write covers them. Kept
+		// short because the process gives no exit hook — a run that ends
+		// inside this window loses the save (see the best-effort caveat on
+		// tuneSave); later freezes re-kick and rewrite, so long-lived
+		// trainers always persist their full table.
+		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-tuneSave.kick:
+		default:
+		}
+		path := TunePath()
+		if path == "" {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			continue
+		}
+		_ = SaveTuneTable(path)
+	}
 }
 
 // LoadTuneTable pre-seeds the autotuner from a file written by
@@ -244,7 +359,8 @@ func LoadTuneTable(path string) error {
 	}
 	for _, r := range f.Entries {
 		for i, c := range tuneCands {
-			if c.kc == r.KC && c.nc == r.NC && c.pack == r.Pack {
+			if c.kc == r.KC && c.nc == r.NC && c.pack == r.Pack &&
+				c.strip == r.Strip && c.mc == r.MC {
 				e := &tuneEntry{}
 				e.chosen.Store(int32(i))
 				tuneTable.m[tuneKey{r.MB, r.KB, r.NB}] = e
@@ -257,13 +373,17 @@ func LoadTuneTable(path string) error {
 }
 
 func init() {
-	if path := os.Getenv("SAMO_GEMM_TUNE"); path != "" {
-		// A missing file just re-probes (first run on a machine); anything
-		// else — corrupt JSON, permissions — is reported, because silently
-		// re-probing is exactly the behavior the operator set the variable
-		// to avoid.
-		if err := LoadTuneTable(path); err != nil && !os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "tensor: SAMO_GEMM_TUNE not loaded: %v\n", err)
-		}
+	explicit := os.Getenv("SAMO_GEMM_TUNE") != ""
+	path := TunePath()
+	if path == "" {
+		return
+	}
+	// A missing file just re-probes (first run on a machine). When the
+	// operator pointed SAMO_GEMM_TUNE at a file, anything else — corrupt
+	// JSON, permissions — is reported, because silently re-probing is
+	// exactly the behavior the variable was set to avoid; for the default
+	// cache path a broken table is best-effort and rebuilt silently.
+	if err := LoadTuneTable(path); err != nil && explicit && !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "tensor: SAMO_GEMM_TUNE not loaded: %v\n", err)
 	}
 }

@@ -116,22 +116,134 @@ func Col2Im(cols *Tensor, s ConvSpec, n int) *Tensor {
 	return out
 }
 
+// col2imCheck validates both operands of the backward lowering. The output
+// is checked dimension by dimension, not just by element count: an NHWC-
+// permuted tensor has the same length as the NCHW gradient and a length-only
+// check would let it through silently.
+func col2imCheck(out, cols *Tensor, s ConvSpec, n int) {
+	oh, ow := s.OutH(), s.OutW()
+	rowLen := s.InC * s.Kernel * s.Kernel
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match spec %+v", cols.shape, s))
+	}
+	if out.Rank() != 4 || out.shape[0] != n || out.shape[1] != s.InC ||
+		out.shape[2] != s.InH || out.shape[3] != s.InW {
+		panic(fmt.Sprintf("tensor: Col2Im output %v does not match spec %+v (want [%d %d %d %d])",
+			out.shape, s, n, s.InC, s.InH, s.InW))
+	}
+}
+
 // Col2ImInto scatter-adds a column matrix into an existing zeroed (or
-// accumulating) NCHW gradient tensor without allocating.
+// accumulating) NCHW gradient tensor without allocating. The kernel runs in
+// parallel on the worker pool and is bitwise-identical to the serial scatter
+// at any worker count (see col2imChunk).
 func Col2ImInto(out, cols *Tensor, s ConvSpec, n int) {
+	col2imCheck(out, cols, s, n)
+	col2imRun(out.data, cols.data, s, n, false)
+}
+
+// Col2ImZeroInto is Col2ImInto for a destination with unspecified contents:
+// each worker zeroes the output rows it owns before gathering into them, so
+// callers (the conv backward) skip the separate serial zeroing pass over the
+// input-gradient tensor.
+func Col2ImZeroInto(out, cols *Tensor, s ConvSpec, n int) {
+	col2imCheck(out, cols, s, n)
+	col2imRun(out.data, cols.data, s, n, true)
+}
+
+// col2imJob carries one backward lowering's arguments to the pool workers;
+// pooled like im2colJob so the conv backward dispatches without allocating.
+type col2imJob struct {
+	src, dst []float32
+	spec     ConvSpec
+	oh, ow   int
+	zero     bool
+}
+
+var col2imJobFree parallel.Pool[col2imJob]
+
+// col2imRun dispatches the gather kernel over (image, input-row) units.
+// Units write disjoint output rows, so any partition is race-free, and the
+// per-element accumulation order is independent of the partition (see
+// col2imChunk) — the result is bitwise-identical at every worker count.
+func col2imRun(dst, src []float32, s ConvSpec, n int, zero bool) {
+	j := col2imJobFree.Get()
+	j.src, j.dst = src, dst
+	j.spec, j.oh, j.ow = s, s.OutH(), s.OutW()
+	j.zero = zero
+	// Grain: one unit gathers ~(k/stride)·ow·inC·k values; bound chunks so a
+	// chunk is worth a dispatch even for 1×1 kernels on small images.
+	perRow := ((s.Kernel+s.Stride-1)/s.Stride)*j.ow*s.InC*s.Kernel + 1
+	grain := (4096 + perRow - 1) / perRow
+	parallel.Run(n*s.InH, grain, j, col2imChunk)
+	j.src, j.dst = nil, nil
+	col2imJobFree.Put(j)
+}
+
+// col2imChunk gathers output units [lo,hi), where unit u = img·inH + iy owns
+// the output row iy of every channel of image img — a disjoint strip of the
+// gradient, so chunks never race.
+//
+// Determinism: the serial scatter accumulates into a fixed output element
+// (c, iy, ix) once per contributing column row, in ascending (oy, ox) order.
+// The gather visits the contributions to each of its elements in exactly
+// that order — oy ascending (each oy pins ky = iy - oy·stride + pad), then
+// ox ascending (each ox pins the kx that lands on ix) — so every element
+// sees the same additions in the same order as the serial kernel and the
+// result is bitwise-identical regardless of how units are partitioned.
+func col2imChunk(ctx any, lo, hi int) {
+	g := ctx.(*col2imJob)
+	s, oh, ow := g.spec, g.oh, g.ow
+	src, dst := g.src, g.dst
+	k, st, pad := s.Kernel, s.Stride, s.Pad
+	inH, inW := s.InH, s.InW
+	rowLen := s.InC * k * k
+	for u := lo; u < hi; u++ {
+		img := u / inH
+		iy := u % inH
+		if g.zero {
+			for c := 0; c < s.InC; c++ {
+				off := ((img*s.InC+c)*inH + iy) * inW
+				zeroSlice(dst[off : off+inW])
+			}
+		}
+		// Output rows oy whose kernel window covers input row iy:
+		// iy = oy·stride + ky - pad with ky in [0, k).
+		oyLo := (iy + pad - k + st) / st // ceil((iy+pad-k+1)/stride), then clamped
+		if oyLo < 0 {
+			oyLo = 0
+		}
+		oyHi := (iy + pad) / st
+		if oyHi > oh-1 {
+			oyHi = oh - 1
+		}
+		for oy := oyLo; oy <= oyHi; oy++ {
+			ky := iy - oy*st + pad
+			rbase := (img*oh + oy) * ow
+			for c := 0; c < s.InC; c++ {
+				drow := dst[((img*s.InC+c)*inH+iy)*inW:]
+				colOff := (c*k + ky) * k
+				for ox := 0; ox < ow; ox++ {
+					rowOff := (rbase+ox)*rowLen + colOff
+					xlo := ox*st - pad
+					for kx := 0; kx < k; kx++ {
+						ix := xlo + kx
+						if ix >= 0 && ix < inW {
+							drow[ix] += src[rowOff+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imSerial is the seed scatter kernel, kept as the reference the
+// parallel gather is pinned (bitwise) and benchmarked against.
+func col2imSerial(dst, src []float32, s ConvSpec, n int) {
 	oh, ow := s.OutH(), s.OutW()
 	k := s.Kernel
 	rowLen := s.InC * k * k
-	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
-		panic(fmt.Sprintf("tensor: Col2Im input %v does not match spec", cols.shape))
-	}
-	if out.Len() != n*s.InC*s.InH*s.InW {
-		panic("tensor: Col2ImInto output size mismatch")
-	}
-	src := cols.data
-	dst := out.data
-	// Serial over rows: output positions overlap across rows, so the scatter
-	// must not race. n·oh·ow is modest for the sizes we run in-process.
 	for r := 0; r < n*oh*ow; r++ {
 		img := r / (oh * ow)
 		rem := r % (oh * ow)

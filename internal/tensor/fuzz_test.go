@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMatMulInto drives every GEMM dispatch path — the saxpy small-shape
+// kernel, the direct-B, shared-pack, strip and mc-blocked v2/v3 candidates
+// — against the naive triple loop over fuzzer-chosen shapes. Shapes are
+// folded into ranges that cross the dispatch boundaries (m around gemmMR
+// and the v2 gate, k and n around the kc/nc candidates and the 8-wide
+// strip width), and every candidate's output is additionally checked
+// BITWISE against candidate 0: the autotuner may pick any of them, so a
+// divergence would make tuning perturb training.
+func FuzzMatMulInto(f *testing.F) {
+	// Seeded degenerate corpus: dispatch-gate boundaries, micro-kernel
+	// remainders, panel-boundary crossings, strip tails, empty dims.
+	f.Add(uint16(0), uint16(8), uint16(8), uint64(1), false)
+	f.Add(uint16(1), uint16(16), uint16(16), uint64(2), false)   // m=1: micro1 only
+	f.Add(uint16(3), uint16(15), uint16(17), uint64(3), true)    // below the v2 gate: saxpy
+	f.Add(uint16(4), uint16(16), uint16(16), uint64(4), false)   // exactly at the v2 gate
+	f.Add(uint16(5), uint16(129), uint16(130), uint64(5), false) // kc=128 boundary, nc remainder
+	f.Add(uint16(8), uint16(257), uint16(129), uint64(6), true)  // kc=256 crossing
+	f.Add(uint16(7), uint16(300), uint16(9), uint64(7), false)   // one full strip + 1-wide tail
+	f.Add(uint16(40), uint16(300), uint16(200), uint64(8), false)
+	f.Add(uint16(47), uint16(319), uint16(223), uint64(9), true) // max folded shape
+	f.Fuzz(func(t *testing.T, mr, kr, nr uint16, seed uint64, accumulate bool) {
+		m, k, n := int(mr%48), int(kr%320), int(nr%224)
+		rng := NewRNG(seed | 1)
+		a, b := New(m, k), New(k, n)
+		fillSeq(a, rng)
+		fillSeq(b, rng)
+
+		want := refMatMul(a, b)
+		cSeed := New(m, n)
+		fillSeq(cSeed, rng)
+		if accumulate {
+			Add(want, cSeed)
+		}
+
+		// 1. The public dispatcher, whatever path the autotuner is on.
+		got := cSeed.Clone()
+		MatMulInto(got, a, b, accumulate)
+		if d := MaxAbsDiff(got, want); d > tol(k) {
+			t.Fatalf("MatMulInto(%dx%dx%d, acc=%v) differs from naive by %g", m, k, n, accumulate, d)
+		}
+
+		if m == 0 || k == 0 || n == 0 {
+			return // candidate kernels are only reachable through dispatch for non-empty dims
+		}
+		// 2. Every autotune candidate, pinned to naive and bitwise to each other.
+		var first *Tensor
+		for ci, cand := range tuneCands {
+			out := cSeed.Clone()
+			gemmV2(out.data, a.data, b.data, m, k, n, accumulate, cand)
+			if d := MaxAbsDiff(out, want); d > tol(k) {
+				t.Fatalf("candidate %d (%+v) on %dx%dx%d differs from naive by %g", ci, cand, m, k, n, d)
+			}
+			if first == nil {
+				first = out
+			} else if i, ok := bitwiseEqual(out, first); !ok {
+				t.Fatalf("candidate %d (%+v) on %dx%dx%d: not bitwise-equal to candidate 0 at index %d",
+					ci, cand, m, k, n, i)
+			}
+		}
+	})
+}
+
+// FuzzCol2ImAdjoint checks the defining property of the backward lowering —
+// <Im2Col(x), y> == <x, Col2Im(y)> for adjoint linear maps — over random
+// kernel/stride/pad geometry, and pins the parallel Col2Im gather bitwise
+// to the serial scatter at several worker counts on every fuzzed geometry.
+func FuzzCol2ImAdjoint(f *testing.F) {
+	// Seeded degenerate corpus: 1×1 kernels, stride > kernel (gap rows),
+	// pad 0 and pad ≥ kernel, non-square inputs, minimum 1×1 output.
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(0), uint8(0), uint8(0), uint64(1))
+	f.Add(uint8(2), uint8(3), uint8(3), uint8(1), uint8(1), uint8(5), uint8(5), uint64(2))
+	f.Add(uint8(1), uint8(2), uint8(1), uint8(3), uint8(0), uint8(6), uint8(2), uint64(3)) // stride 3 > k: gap rows
+	f.Add(uint8(2), uint8(4), uint8(5), uint8(2), uint8(2), uint8(9), uint8(3), uint64(4))
+	f.Add(uint8(1), uint8(1), uint8(3), uint8(1), uint8(3), uint8(0), uint8(7), uint64(5)) // pad == k
+	f.Fuzz(func(t *testing.T, nr, cr, kr, sr, pr, hr, wr uint8, seed uint64) {
+		n := 1 + int(nr%2)
+		inC := 1 + int(cr%4)
+		k := 1 + int(kr%5)
+		stride := 1 + int(sr%3)
+		pad := int(pr % 4)
+		inH := k + int(hr%10)
+		inW := k + int(wr%10)
+		s := ConvSpec{InC: inC, OutC: 1, Kernel: k, Stride: stride, Pad: pad, InH: inH, InW: inW}
+		if s.OutH() < 1 || s.OutW() < 1 {
+			t.Skip("degenerate output")
+		}
+		rng := NewRNG(seed | 1)
+		x := New(n, inC, inH, inW)
+		fillSeq(x, rng)
+		cols := Im2Col(x, s)
+		y := New(cols.Dim(0), cols.Dim(1))
+		fillSeq(y, rng)
+
+		lhs := Dot(cols, y)
+		back := Col2Im(y, s, n)
+		rhs := Dot(x, back)
+		if scale := math.Abs(lhs) + math.Abs(rhs) + 1; math.Abs(lhs-rhs) > 1e-4*scale {
+			t.Fatalf("adjoint identity violated for %+v n=%d: <Im2Col(x),y>=%g vs <x,Col2Im(y)>=%g",
+				s, n, lhs, rhs)
+		}
+
+		ref := New(n, inC, inH, inW)
+		col2imSerial(ref.Data(), y.Data(), s, n)
+		defer SetWorkers(SetWorkers(0))
+		for _, w := range []int{1, 2, 3, 8} {
+			SetWorkers(w)
+			out := New(n, inC, inH, inW)
+			Col2ImInto(out, y, s, n)
+			if i, ok := bitwiseEqual(out, ref); !ok {
+				t.Fatalf("workers=%d %+v: parallel Col2Im differs from serial at index %d", w, s, i)
+			}
+		}
+	})
+}

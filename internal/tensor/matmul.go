@@ -162,6 +162,7 @@ type gemmV2Job struct {
 	pb         []float32 // the one shared packed panel (nil on direct path)
 	k0, kcur   int       // current panel's k range
 	j0, ncur   int       // current panel's n range
+	i0, mcur   int       // current mc block's row range (sweep chunks offset by i0)
 	kc, nc     int       // blocking (direct path iterates panels itself)
 }
 
@@ -176,6 +177,21 @@ var gemmV2JobFree parallel.Pool[gemmV2Job]
 // small (the Figure-1 FC backward shapes). Candidates with pack=false skip
 // packing entirely and read B in place — for very small m a panel is swept
 // too few times for the pack traffic to amortize at all.
+//
+// Two further candidate dimensions (autotuned, see autotune.go):
+//
+//   - strip: pack the panel in 8-wide column strips (each strip k-major and
+//     contiguous) and sweep it with the v3 strip kernel, whose inner loop
+//     keeps eight C accumulators in registers and streams B sequentially —
+//     C round-trips through memory once per panel instead of every other
+//     k step.
+//   - mc: block the C rows, re-running the whole panel loop per mc-row
+//     block. Packing repeats once per block (m/mc times the traffic), but
+//     the block's C rows and A slab stay cache-resident across the k sweep —
+//     the classic BLIS ic loop, worth probing only for tall m.
+//
+// Every variant accumulates each C element in the same pairwise k order, so
+// all candidates remain bitwise-identical (TestGEMMV2CandidatesGolden).
 func gemmV2(c, a, b []float32, m, k, n int, accumulate bool, cand tuneCand) {
 	j := gemmV2JobFree.Get()
 	j.c, j.a, j.b = c, a, b
@@ -185,15 +201,26 @@ func gemmV2(c, a, b []float32, m, k, n int, accumulate bool, cand tuneCand) {
 	if !cand.pack {
 		parallel.Run(m, gemmMR, j, gemmDirectChunk)
 	} else {
+		pack, sweep := gemmPackPanelChunk, gemmSweepChunk
+		if cand.strip {
+			pack, sweep = gemmPackStripChunk, gemmStripSweepChunk
+		}
+		mc := cand.mc
+		if mc <= 0 {
+			mc = m
+		}
 		pb := getPackBuf()
 		j.pb = pb
-		for k0 := 0; k0 < k; k0 += cand.kc {
-			kcur := min(cand.kc, k-k0)
-			for j0 := 0; j0 < n; j0 += cand.nc {
-				j.k0, j.kcur = k0, kcur
-				j.j0, j.ncur = j0, min(cand.nc, n-j0)
-				parallel.Run(kcur, gemmPackGrain, j, gemmPackPanelChunk)
-				parallel.Run(m, gemmMR, j, gemmSweepChunk)
+		for i0 := 0; i0 < m; i0 += mc {
+			j.i0, j.mcur = i0, min(mc, m-i0)
+			for k0 := 0; k0 < k; k0 += cand.kc {
+				kcur := min(cand.kc, k-k0)
+				for j0 := 0; j0 < n; j0 += cand.nc {
+					j.k0, j.kcur = k0, kcur
+					j.j0, j.ncur = j0, min(cand.nc, n-j0)
+					parallel.Run(kcur, gemmPackGrain, j, pack)
+					parallel.Run(j.mcur, gemmMR, j, sweep)
+				}
 			}
 		}
 		j.pb = nil
@@ -215,15 +242,17 @@ func gemmPackPanelChunk(ctx any, lo, hi int) {
 	}
 }
 
-// gemmSweepChunk updates C rows [lo,hi), cols [j0,j0+ncur) from the shared
-// packed panel with the register micro-kernel. On the first k panel of a
-// non-accumulating product it also zeroes its C band (each band is touched
-// by exactly one chunk per panel, so the zeroing races with nothing).
+// gemmSweepChunk updates C rows [lo,hi) of the current mc block (absolute
+// rows i0+lo..i0+hi), cols [j0,j0+ncur) from the shared packed panel with
+// the register micro-kernel. On the first k panel of a non-accumulating
+// product it also zeroes its C band (each band is touched by exactly one
+// chunk per panel, so the zeroing races with nothing).
 func gemmSweepChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmV2Job)
 	c, a, pb := g.c, g.a, g.pb
 	k, n := g.k, g.n
 	k0, kcur, j0, ncur := g.k0, g.kcur, g.j0, g.ncur
+	lo, hi = lo+g.i0, hi+g.i0
 	if k0 == 0 && !g.accumulate {
 		for i := lo; i < hi; i++ {
 			zeroSlice(c[i*n+j0 : i*n+j0+ncur])
@@ -236,6 +265,124 @@ func gemmSweepChunk(ctx any, lo, hi int) {
 	for ; i < hi; i++ {
 		gemmMicro1(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
 	}
+}
+
+// gemmPackStripChunk packs panel k-rows [lo,hi) (relative to k0) in the v3
+// strip layout: the kc×nc panel is stored as a sequence of 8-wide column
+// strips, each strip k-major and contiguous — strip js/8 occupies
+// pb[js·kcur : js·kcur + kcur·8], element (kk, jj) at offset kk·8 + jj. The
+// strip sweep then streams B strictly sequentially. A ragged final strip
+// (ncur not a multiple of 8) keeps stride 8; its tail floats are left
+// unwritten and never read. Chunks touch disjoint panel rows.
+func gemmPackStripChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	b, pb := g.b, g.pb
+	n, k0, j0, ncur, kcur := g.n, g.k0, g.j0, g.ncur, g.kcur
+	for kk := lo; kk < hi; kk++ {
+		brow := b[(k0+kk)*n+j0 : (k0+kk)*n+j0+ncur]
+		for js := 0; js < ncur; js += 8 {
+			w := min(8, ncur-js)
+			copy(pb[js*kcur+kk*8:js*kcur+kk*8+w], brow[js:js+w])
+		}
+	}
+}
+
+// gemmStripSweepChunk updates C rows [lo,hi) of the current mc block from a
+// strip-packed panel with the v3 strip kernel: per row and 8-wide column
+// strip, eight accumulators live in registers across the whole k sweep and
+// C round-trips through memory once per panel (the 4-row micro-kernel
+// reads and writes C every second k step). B streams sequentially from the
+// strip.
+//
+// Bitwise contract: the accumulators are seeded from C (or zero on the
+// first panel of a non-accumulating product) and updated with the same
+// `c += a0·b0 + a1·b1` pairwise expression as gemmMicro4, so each element
+// sees the identical sequence of float32 operations — staging the partial
+// sum in a register instead of memory does not change its value.
+func gemmStripSweepChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	c, a, pb := g.c, g.a, g.pb
+	k, n := g.k, g.n
+	k0, kcur, j0, ncur := g.k0, g.kcur, g.j0, g.ncur
+	lo, hi = lo+g.i0, hi+g.i0
+	seed := g.accumulate || k0 > 0
+	for i := lo; i < hi; i++ {
+		ai := a[i*k+k0 : i*k+k0+kcur]
+		ci := c[i*n+j0 : i*n+j0+ncur]
+		for js := 0; js < ncur; js += 8 {
+			bs := pb[js*kcur:]
+			if ncur-js >= 8 {
+				gemmStrip8(ci[js:js+8], ai, bs, kcur, seed)
+			} else {
+				gemmStripTail(ci[js:], ai, bs, kcur, seed)
+			}
+		}
+	}
+}
+
+// gemmStrip8 updates one C row's 8-wide column strip from a k-major strip
+// of the packed panel. The 2-wide k unroll matches gemmMicro4's pairwise
+// association exactly; the eight accumulators stay in registers.
+func gemmStrip8(ci, ai []float32, bs []float32, kcur int, seed bool) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 float32
+	_ = ci[7]
+	if seed {
+		c0, c1, c2, c3 = ci[0], ci[1], ci[2], ci[3]
+		c4, c5, c6, c7 = ci[4], ci[5], ci[6], ci[7]
+	}
+	kk := 0
+	for ; kk+2 <= kcur; kk += 2 {
+		bp := bs[kk*8 : kk*8+16]
+		a0, a1 := ai[kk], ai[kk+1]
+		c0 += a0*bp[0] + a1*bp[8]
+		c1 += a0*bp[1] + a1*bp[9]
+		c2 += a0*bp[2] + a1*bp[10]
+		c3 += a0*bp[3] + a1*bp[11]
+		c4 += a0*bp[4] + a1*bp[12]
+		c5 += a0*bp[5] + a1*bp[13]
+		c6 += a0*bp[6] + a1*bp[14]
+		c7 += a0*bp[7] + a1*bp[15]
+	}
+	if kk < kcur {
+		bp := bs[kk*8 : kk*8+8]
+		a0 := ai[kk]
+		c0 += a0 * bp[0]
+		c1 += a0 * bp[1]
+		c2 += a0 * bp[2]
+		c3 += a0 * bp[3]
+		c4 += a0 * bp[4]
+		c5 += a0 * bp[5]
+		c6 += a0 * bp[6]
+		c7 += a0 * bp[7]
+	}
+	ci[0], ci[1], ci[2], ci[3] = c0, c1, c2, c3
+	ci[4], ci[5], ci[6], ci[7] = c4, c5, c6, c7
+}
+
+// gemmStripTail is the ragged final strip (width 1..7) of gemmStrip8; the
+// strip keeps stride 8 in the packed buffer, only width values are read.
+func gemmStripTail(ci, ai []float32, bs []float32, kcur int, seed bool) {
+	var acc [8]float32
+	w := len(ci)
+	if seed {
+		copy(acc[:w], ci)
+	}
+	kk := 0
+	for ; kk+2 <= kcur; kk += 2 {
+		bp := bs[kk*8 : kk*8+8+w]
+		a0, a1 := ai[kk], ai[kk+1]
+		for j := 0; j < w; j++ {
+			acc[j] += a0*bp[j] + a1*bp[8+j]
+		}
+	}
+	if kk < kcur {
+		bp := bs[kk*8 : kk*8+w]
+		a0 := ai[kk]
+		for j := 0; j < w; j++ {
+			acc[j] += a0 * bp[j]
+		}
+	}
+	copy(ci, acc[:w])
 }
 
 // gemmDirectChunk computes C rows [lo,hi) reading B in place (no panel

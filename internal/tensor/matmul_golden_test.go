@@ -178,24 +178,29 @@ func TestTransposeGolden(t *testing.T) {
 // v2Shapes stresses the shared-pack pipeline's edges: m below the worker
 // count (shared pack is the point of that regime), k below every kc
 // candidate, n below every nc candidate, single-row and single-column
-// outputs, panel-boundary remainders, and shapes spanning several panels.
+// outputs, panel-boundary remainders, shapes spanning several panels, strip
+// tails of every width class, and m past the mc=128 row-blocking boundary.
 var v2Shapes = [][3]int{
 	{1, 16, 16},   // m=1: micro1-only sweep
-	{4, 16, 1},    // n=1: one-column panels
-	{3, 300, 40},  // m below gemmMR after chunking
-	{5, 700, 130}, // k spans panels with remainder, n just over one nc
+	{4, 16, 1},    // n=1: one-column panels, 1-wide strip tail
+	{3, 300, 40},  // m below gemmMR after chunking, 8-aligned strips
+	{5, 700, 130}, // k spans panels with remainder, n just over one nc, 2-wide tail
 	{8, 64, 520},  // n spans nc candidates with remainder
+	{6, 530, 9},   // k just past the 512 panel, one full strip + 1-wide tail
 	{31, 257, 129},
-	{64, 512, 256}, // exact panel multiples
-	{97, 1030, 70},
+	{64, 512, 256},  // exact panel multiples
+	{97, 1030, 70},  // 6-wide strip tail
+	{150, 300, 40},  // m crosses the mc=128 row-block boundary
+	{129, 256, 135}, // mc remainder of one row, 7-wide strip tail
 }
 
-// TestGEMMV2CandidatesGolden pins every autotune candidate against the
+// TestGEMMV2CandidatesGolden pins every autotune candidate — shared-pack,
+// direct-B, mc row-blocked and the v3 8-wide strip kernels — against the
 // naive reference at the degenerate shapes, under a worker count larger
 // than m for the small shapes (the regime the shared pack exists for). It
-// also asserts the candidates agree BITWISE: all kc candidates are even,
-// so the pairwise k-association is identical and the autotuner's choice
-// can never change results.
+// also asserts the candidates agree BITWISE: every kc candidate is even and
+// every kernel accumulates each C element with the same pairwise
+// k-association, so the autotuner's choice can never change results.
 func TestGEMMV2CandidatesGolden(t *testing.T) {
 	old := SetWorkers(8)
 	defer SetWorkers(old)
@@ -310,6 +315,13 @@ func TestTuneTablePersistence(t *testing.T) {
 }
 
 func TestMatMulIntoZeroAlloc(t *testing.T) {
+	// Hermetic allocation counting: AllocsPerRun tallies process-wide
+	// mallocs, so a background tune-table save (triggered whenever a GEMM
+	// bucket happens to freeze nearby) would show up as phantom allocs.
+	// "off" makes the freeze path inert; persistence itself is pinned by
+	// TestTunePersistenceRoundTripAllocFree.
+	t.Setenv("SAMO_GEMM_TUNE", "off")
+
 	a, b, c := New(64, 96), New(96, 80), New(64, 80)
 	rng := NewRNG(46)
 	fillSeq(a, rng)

@@ -32,12 +32,25 @@
 // packed once per call by the workers cooperatively, then swept by all of
 // them, instead of once per worker (which duplicated memory traffic
 // exactly when rows-per-worker was small, the FC backward regime). A tiny
-// per-shape autotuner picks among four blocking candidates — including a
-// pack-free direct-B kernel for very small m — by timing the first few
-// real calls on each ceil(log2) shape bucket; every candidate produces
+// per-shape autotuner picks among seven blocking candidates — shared-pack
+// panels at three aspect ratios, a pack-free direct-B kernel for very
+// small m, an mc row-blocked variant for tall m, and two v3 strip kernels
+// that pack panels in 8-wide k-major column strips and sweep them with
+// eight register accumulators per C row — by timing the first few real
+// calls on each ceil(log2) shape bucket; every candidate produces
 // bitwise-identical output, so the choice can never perturb training.
-// Decisions can be persisted with SaveTuneTable/LoadTuneTable (or the
-// SAMO_GEMM_TUNE env var).
+// Decisions persist by default under the user cache dir (samo/
+// gemm_tune.json) via a debounced background save and are pre-loaded at
+// startup; SAMO_GEMM_TUNE overrides the path ("off" disables), and
+// SaveTuneTable/LoadTuneTable give explicit control.
+//
+// The conv backward lowering (Col2Im), previously the last serial kernel
+// in the stack, runs as a parallel gather over disjoint (image, input-row)
+// strips: each worker visits the contributions to its rows in the serial
+// scatter's exact per-element order, so the result is bitwise-identical to
+// the serial reference at every worker count — resizing the pool can never
+// change training results (pinned by the col2im determinism goldens and
+// the FuzzCol2ImAdjoint fuzz target).
 //
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
@@ -51,7 +64,9 @@
 // under a hard retention bound). Run scripts/bench.sh to regenerate
 // BENCH_kernels.json, the kernel/throughput/allocation baseline the
 // benchmarks are tracked against; it fails if the packed or shared-pack
-// kernel regresses below 1.5x the seed GEMM on the Figure-1 shapes.
+// kernel regresses below 1.5x the seed GEMM on the Figure-1 shapes, or if
+// the parallel Col2Im drops below 1.5x the serial scatter on the conv
+// backward shapes (on multi-core machines; see MIN_COL2IM_SPEEDUP).
 package samo
 
 import (
