@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/sparse-dl/samo/internal/fp16"
 	"github.com/sparse-dl/samo/internal/nn"
 	"github.com/sparse-dl/samo/internal/optim"
 	"github.com/sparse-dl/samo/internal/prune"
 	"github.com/sparse-dl/samo/internal/sparse"
+	"github.com/sparse-dl/samo/internal/tensor"
 )
 
 // Mode selects how model states are stored.
@@ -216,13 +216,16 @@ func (ms *ModelState) GradElements() int64 {
 	return n
 }
 
-// Overflow scans the captured fp16 gradients for Inf/NaN. In distributed
-// training every rank must agree on the verdict (or their loss scales and
-// parameters diverge), so the engine reduces this flag globally before
-// calling StepGiven.
+// Overflow scans the captured fp16 gradients for Inf/NaN — the per-step
+// overflow check behind dynamic loss scaling. Large gradient vectors scan
+// chunked on the worker pool with an atomic early exit
+// (tensor.HasNonFiniteSlice); the scan allocates nothing, preserving the
+// fp16 train-step zero-alloc contract. In distributed training every rank
+// must agree on the verdict (or their loss scales and parameters diverge),
+// so the engine reduces this flag globally before calling StepGiven.
 func (ms *ModelState) Overflow() bool {
 	for _, st := range ms.states {
-		if hasNonFinite(st.grad16) {
+		if tensor.HasNonFiniteSlice(st.grad16) {
 			return true
 		}
 	}
@@ -314,16 +317,6 @@ func (ms *ModelState) Memory() MemoryBreakdown {
 
 // Model returns the managed model.
 func (ms *ModelState) Model() *nn.Model { return ms.model }
-
-func hasNonFinite(s []float32) bool {
-	for _, v := range s {
-		f := float64(v)
-		if math.IsInf(f, 0) || math.IsNaN(f) {
-			return true
-		}
-	}
-	return false
-}
 
 func zero(s []float32) {
 	for i := range s {

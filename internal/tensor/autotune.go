@@ -12,13 +12,16 @@ import (
 )
 
 // GEMM autotuner: a per-shape table of blocking parameters for the shared-
-// pack v2 kernel. Shapes are bucketed by ceil(log2) of (m, k, n) — training
-// reuses the same handful of GEMM shapes every microbatch, so the table
-// stays tiny and every steady-state lookup is a read-locked map hit with no
-// allocation. The first few calls on a new bucket each time one candidate
-// blocking (the probe does the real multiplication, so no work is wasted);
-// once every candidate has enough samples the winner is frozen into the
-// entry and all later calls take it branch-free.
+// pack v2 kernel. Buckets are keyed by (op variant, ceil-log2(m, k, n)):
+// the forward product and the two transposed backward products (MatMulT,
+// TMatMul) tune independently, because their packing costs differ even at
+// identical shapes. Training reuses the same handful of GEMM shapes every
+// microbatch, so the table stays tiny and every steady-state lookup is a
+// read-locked map hit with no allocation. The first few calls on a new
+// bucket each time one candidate blocking (the probe does the real
+// multiplication, so no work is wasted); once every candidate has enough
+// samples the winner is frozen into the entry and all later calls take it
+// branch-free.
 //
 // Decisions persist by default: whenever a bucket first freezes, a
 // background goroutine writes the table to TunePath() — SAMO_GEMM_TUNE if
@@ -67,17 +70,46 @@ var tuneCands = [...]tuneCand{
 	{kc: 512, nc: 256, pack: true, strip: true},
 }
 
+// tuneCandsT are the probe candidates for the transposed variants (gemmNT
+// and gemmTN). They mirror tuneCands minus the direct-B entry: the
+// transposed products' effective B is never materialized row-major, so
+// every candidate packs (the pack IS the transpose). Same invariants: kc
+// even, nc a multiple of 8, kc·nc within packBufCap.
+var tuneCandsT = [...]tuneCand{
+	{kc: 256, nc: 128, pack: true},
+	{kc: 128, nc: 256, pack: true},
+	{kc: 512, nc: 256, pack: true},
+	{kc: 256, nc: 128, pack: true, mc: 128},
+	{kc: 256, nc: 128, pack: true, strip: true},
+	{kc: 512, nc: 256, pack: true, strip: true},
+}
+
+// maxTuneCands sizes the per-entry probe-state arrays to the largest
+// candidate set across variants.
+const maxTuneCands = max(len(tuneCands), len(tuneCandsT))
+
+// tuneCandsFor returns the candidate set a variant probes.
+func tuneCandsFor(v gemmVariant) []tuneCand {
+	if v == gemmNN {
+		return tuneCands[:]
+	}
+	return tuneCandsT[:]
+}
+
 // tuneProbeRuns is how many timed samples each candidate gets before the
 // entry decides. The minimum over samples is compared (minimum, not mean:
 // scheduling noise only ever adds time); three samples make a noise burst
 // have to hit the same candidate three times to bias the choice.
 const tuneProbeRuns = 3
 
-// tuneKey buckets a GEMM shape by ceil(log2) of each dimension: shapes
-// within a power of two share blocking, which keeps the table a few dozen
-// entries for a whole training run while still separating the regimes that
-// matter (small-m backward vs large-m forward, k or n under one panel).
+// tuneKey buckets a GEMM dispatch by op variant and ceil(log2) of each
+// dimension: shapes within a power of two share blocking, which keeps the
+// table a few dozen entries for a whole training run while still
+// separating the regimes that matter (small-m backward vs large-m forward,
+// k or n under one panel). The variant keeps forward and transposed
+// products in distinct buckets even at identical (m,k,n).
 type tuneKey struct {
+	v          uint8
 	mb, kb, nb uint8
 }
 
@@ -88,8 +120,8 @@ func log2Bucket(n int) uint8 {
 	return uint8(bits.Len(uint(n - 1)))
 }
 
-func makeTuneKey(m, k, n int) tuneKey {
-	return tuneKey{log2Bucket(m), log2Bucket(k), log2Bucket(n)}
+func makeTuneKey(v gemmVariant, m, k, n int) tuneKey {
+	return tuneKey{uint8(v), log2Bucket(m), log2Bucket(k), log2Bucket(n)}
 }
 
 // tuneEntry is the per-bucket probe state. chosen is -1 while probing and
@@ -108,10 +140,14 @@ type tuneEntry struct {
 	chosen atomic.Int32
 	calls  atomic.Int64 // post-freeze call counter driving re-probes
 
+	// cands is the variant's candidate set (tuneCandsFor), fixed at entry
+	// creation; chosen and the probe state below index into it.
+	cands []tuneCand
+
 	mu   sync.Mutex
-	best [len(tuneCands)]float64 // min ns per flop over recorded samples
-	recs [len(tuneCands)]int     // samples recorded (freeze gate)
-	runs [len(tuneCands)]int     // probes handed out (round-robin gate)
+	best [maxTuneCands]float64 // min ns per flop over recorded samples
+	recs [maxTuneCands]int     // samples recorded (freeze gate)
+	runs [maxTuneCands]int     // probes handed out (round-robin gate)
 }
 
 // tuneReprobeEvery is the period of post-freeze drift probes (one timed
@@ -122,7 +158,7 @@ const tuneReprobeEvery = 512
 func (e *tuneEntry) nextProbe() int {
 	e.mu.Lock()
 	idx := 0
-	for i := 1; i < len(tuneCands); i++ {
+	for i := 1; i < len(e.cands); i++ {
 		if e.runs[i] < e.runs[idx] {
 			idx = i
 		}
@@ -152,7 +188,7 @@ func (e *tuneEntry) record(idx int, d time.Duration, work int) {
 	}
 	e.recs[idx]++
 	done := true
-	for i := range tuneCands {
+	for i := range e.cands {
 		if e.recs[i] < tuneProbeRuns {
 			done = false
 			break
@@ -162,7 +198,7 @@ func (e *tuneEntry) record(idx int, d time.Duration, work int) {
 		// (Re-)evaluate the winner: the initial freeze, and any later
 		// drift probe whose cleaner sample moved a minimum.
 		win := 0
-		for i := 1; i < len(tuneCands); i++ {
+		for i := 1; i < len(e.cands); i++ {
 			if e.best[i] < e.best[win] {
 				win = i
 			}
@@ -176,6 +212,7 @@ func (e *tuneEntry) record(idx int, d time.Duration, work int) {
 		// choice is bitwise-identical anyway; the next process simply
 		// starts from the previously saved winner.
 		if e.chosen.Swap(int32(win)) == -1 {
+			tuneDirty.Store(true)
 			scheduleTuneSave()
 		}
 	}
@@ -187,11 +224,18 @@ var tuneTable struct {
 	m  map[tuneKey]*tuneEntry
 }
 
-// tuneFor returns the (existing or new) entry for a shape bucket. The fast
-// path is a read-locked map hit — no allocation, no contention in steady
-// state.
-func tuneFor(m, k, n int) *tuneEntry {
-	key := makeTuneKey(m, k, n)
+// tuneDirty is set whenever a bucket freezes in THIS process — i.e. the
+// in-memory table holds a decision the file may lack. Buckets pre-seeded
+// from disk do not set it, so a process that probed nothing new never
+// rewrites the file (FlushTuneTable would otherwise rename its possibly
+// stale startup copy over decisions a concurrent process just saved).
+var tuneDirty atomic.Bool
+
+// tuneFor returns the (existing or new) entry for a (variant, shape)
+// bucket. The fast path is a read-locked map hit — no allocation, no
+// contention in steady state.
+func tuneFor(v gemmVariant, m, k, n int) *tuneEntry {
+	key := makeTuneKey(v, m, k, n)
 	tuneTable.mu.RLock()
 	e := tuneTable.m[key]
 	tuneTable.mu.RUnlock()
@@ -203,7 +247,7 @@ func tuneFor(m, k, n int) *tuneEntry {
 		if tuneTable.m == nil {
 			tuneTable.m = make(map[tuneKey]*tuneEntry)
 		}
-		e = &tuneEntry{}
+		e = &tuneEntry{cands: tuneCandsFor(v)}
 		e.chosen.Store(-1)
 		tuneTable.m[key] = e
 	}
@@ -212,15 +256,22 @@ func tuneFor(m, k, n int) *tuneEntry {
 }
 
 // ResetTuneTable clears all autotuning decisions (tests, and benchmarks
-// that want to re-probe on a new machine).
+// that want to re-probe on a new machine), including the dirty flag — the
+// discarded decisions are no longer worth flushing.
 func ResetTuneTable() {
 	tuneTable.mu.Lock()
 	tuneTable.m = nil
+	tuneDirty.Store(false)
 	tuneTable.mu.Unlock()
 }
 
-// tuneRecord is the persisted form of one decided bucket.
+// tuneRecord is the persisted form of one decided bucket. V is the GEMM
+// variant (0 forward, 1 MatMulT, 2 TMatMul); it is omitted when zero, so
+// tables written before the variant key existed load unchanged as
+// forward-product entries, and records with a variant this build does not
+// know are skipped on load.
 type tuneRecord struct {
+	V     uint8 `json:"variant,omitempty"`
 	MB    uint8 `json:"mb"`
 	KB    uint8 `json:"kb"`
 	NB    uint8 `json:"nb"`
@@ -249,9 +300,9 @@ func SaveTuneTable(path string) error {
 		if idx < 0 {
 			continue
 		}
-		c := tuneCands[idx]
+		c := e.cands[idx]
 		f.Entries = append(f.Entries, tuneRecord{
-			MB: k.mb, KB: k.kb, NB: k.nb,
+			V: k.v, MB: k.mb, KB: k.kb, NB: k.nb,
 			KC: c.kc, NC: c.nc, Pack: c.pack, Strip: c.strip, MC: c.mc})
 	}
 	tuneTable.mu.RUnlock()
@@ -259,11 +310,31 @@ func SaveTuneTable(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	// Unique temp name: the debounced background saver and a synchronous
+	// FlushTuneTable can run concurrently, and two writers interleaving on
+	// one shared temp file could rename a corrupt table into place.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gemm_tune-*.tmp")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // TunePath resolves where autotuner decisions persist: the file named by
@@ -358,17 +429,51 @@ func LoadTuneTable(path string) error {
 		tuneTable.m = make(map[tuneKey]*tuneEntry)
 	}
 	for _, r := range f.Entries {
-		for i, c := range tuneCands {
+		if gemmVariant(r.V) >= gemmVariants {
+			continue // written by a build with variants this one lacks
+		}
+		cands := tuneCandsFor(gemmVariant(r.V))
+		for i, c := range cands {
 			if c.kc == r.KC && c.nc == r.NC && c.pack == r.Pack &&
 				c.strip == r.Strip && c.mc == r.MC {
-				e := &tuneEntry{}
+				e := &tuneEntry{cands: cands}
 				e.chosen.Store(int32(i))
-				tuneTable.m[tuneKey{r.MB, r.KB, r.NB}] = e
+				tuneTable.m[tuneKey{r.V, r.MB, r.KB, r.NB}] = e
 				break
 			}
 		}
 	}
 	tuneTable.mu.Unlock()
+	return nil
+}
+
+// FlushTuneTable synchronously persists the current autotuner decisions to
+// TunePath(), creating the directory as needed. The debounced background
+// saver (scheduleTuneSave) coalesces the startup freeze burst but gives no
+// guarantee for short-lived processes — Go has no exit hook, so a process
+// that exits inside the coalescing window loses every freeze it made. The
+// cmds therefore call this from their run() exits. It is a no-op (nil)
+// when persistence is disabled or when this process has frozen nothing new
+// since startup (tuneDirty): a table holding only disk-loaded decisions
+// must not be renamed over the file — it may be a stale copy of decisions
+// a concurrent process has since extended — and an undecided table must
+// not clobber a previous run's save when the init pre-load failed.
+func FlushTuneTable() error {
+	path := TunePath()
+	if path == "" {
+		return nil
+	}
+	if !tuneDirty.Swap(false) {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		tuneDirty.Store(true) // still unsaved; a later flush should retry
+		return err
+	}
+	if err := SaveTuneTable(path); err != nil {
+		tuneDirty.Store(true)
+		return err
+	}
 	return nil
 }
 

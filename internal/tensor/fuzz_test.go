@@ -53,7 +53,7 @@ func FuzzMatMulInto(f *testing.F) {
 		var first *Tensor
 		for ci, cand := range tuneCands {
 			out := cSeed.Clone()
-			gemmV2(out.data, a.data, b.data, m, k, n, accumulate, cand)
+			gemmV2(gemmNN, out.data, a.data, b.data, m, k, n, accumulate, cand)
 			if d := MaxAbsDiff(out, want); d > tol(k) {
 				t.Fatalf("candidate %d (%+v) on %dx%dx%d differs from naive by %g", ci, cand, m, k, n, d)
 			}
@@ -65,6 +65,120 @@ func FuzzMatMulInto(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzMatMulTInto drives the C = A·Bᵀ dispatcher — the tiled small-shape
+// kernel and every transposed-variant shared-pack/strip/mc candidate —
+// against the naive triple loop over fuzzer-chosen shapes, with the same
+// dispatch-boundary folding as FuzzMatMulInto; every candidate's output is
+// additionally checked BITWISE against candidate 0 (the autotuner may pick
+// any of them mid-training).
+func FuzzMatMulTInto(f *testing.F) {
+	seedTransposedCorpus(f)
+	f.Fuzz(func(t *testing.T, mr, kr, nr uint16, seed uint64, accumulate bool) {
+		m, k, n := int(mr%320), int(kr%320), int(nr%224)
+		rng := NewRNG(seed | 1)
+		a, b := New(m, k), New(n, k)
+		fillSeq(a, rng)
+		fillSeq(b, rng)
+
+		want := refMatMulT(a, b)
+		cSeed := New(m, n)
+		fillSeq(cSeed, rng)
+		if accumulate {
+			Add(want, cSeed)
+		}
+
+		got := cSeed.Clone()
+		MatMulTInto(got, a, b, accumulate)
+		if d := MaxAbsDiff(got, want); d > tol(k) {
+			t.Fatalf("MatMulTInto(%dx%dx%d, acc=%v) differs from naive by %g", m, k, n, accumulate, d)
+		}
+
+		if m == 0 || k == 0 || n == 0 {
+			return
+		}
+		var first *Tensor
+		for ci, cand := range tuneCandsT {
+			out := cSeed.Clone()
+			gemmV2(gemmNT, out.data, a.data, b.data, m, k, n, accumulate, cand)
+			if d := MaxAbsDiff(out, want); d > tol(k) {
+				t.Fatalf("NT candidate %d (%+v) on %dx%dx%d differs from naive by %g", ci, cand, m, k, n, d)
+			}
+			if first == nil {
+				first = out
+			} else if i, ok := bitwiseEqual(out, first); !ok {
+				t.Fatalf("NT candidate %d (%+v) on %dx%dx%d: not bitwise-equal to candidate 0 at index %d",
+					ci, cand, m, k, n, i)
+			}
+		}
+	})
+}
+
+// FuzzTMatMulInto is FuzzMatMulTInto's twin for C = Aᵀ·B, which
+// additionally exercises the per-block Aᵀ transpose-pack.
+func FuzzTMatMulInto(f *testing.F) {
+	seedTransposedCorpus(f)
+	f.Fuzz(func(t *testing.T, mr, kr, nr uint16, seed uint64, accumulate bool) {
+		m, k, n := int(mr%320), int(kr%320), int(nr%224)
+		rng := NewRNG(seed | 1)
+		a, b := New(k, m), New(k, n)
+		fillSeq(a, rng)
+		fillSeq(b, rng)
+
+		want := refTMatMul(a, b)
+		cSeed := New(m, n)
+		fillSeq(cSeed, rng)
+		if accumulate {
+			Add(want, cSeed)
+		}
+
+		got := cSeed.Clone()
+		TMatMulInto(got, a, b, accumulate)
+		if d := MaxAbsDiff(got, want); d > tol(k) {
+			t.Fatalf("TMatMulInto(%dx%dx%d, acc=%v) differs from naive by %g", m, k, n, accumulate, d)
+		}
+
+		if m == 0 || k == 0 || n == 0 {
+			return
+		}
+		var first *Tensor
+		for ci, cand := range tuneCandsT {
+			out := cSeed.Clone()
+			gemmV2(gemmTN, out.data, a.data, b.data, m, k, n, accumulate, cand)
+			if d := MaxAbsDiff(out, want); d > tol(k) {
+				t.Fatalf("TN candidate %d (%+v) on %dx%dx%d differs from naive by %g", ci, cand, m, k, n, d)
+			}
+			if first == nil {
+				first = out
+			} else if i, ok := bitwiseEqual(out, first); !ok {
+				t.Fatalf("TN candidate %d (%+v) on %dx%dx%d: not bitwise-equal to candidate 0 at index %d",
+					ci, cand, m, k, n, i)
+			}
+		}
+	})
+}
+
+// seedTransposedCorpus seeds the degenerate corpus shared by both
+// transposed-GEMM fuzz targets: dispatch-gate boundaries (the tiled
+// fallback below m=4 / k,n=16), micro-kernel and strip-tail remainders,
+// panel-boundary crossings (both transpose-packs have per-panel state),
+// mc row-block boundaries (m past 128 runs the mc:128 candidate's
+// per-block repack; m past 256 additionally splits the gemmTN Aᵀ pack at
+// the packBufCap/kc clamp for kc=512), and empty dims.
+func seedTransposedCorpus(f *testing.F) {
+	f.Add(uint16(0), uint16(8), uint16(8), uint64(1), false)
+	f.Add(uint16(1), uint16(16), uint16(16), uint64(2), false)   // m=1: tiled remainder row
+	f.Add(uint16(3), uint16(15), uint16(17), uint64(3), true)    // below the v2 gate: tiled
+	f.Add(uint16(4), uint16(16), uint16(16), uint64(4), false)   // exactly at the v2 gate
+	f.Add(uint16(5), uint16(129), uint16(130), uint64(5), false) // kc=128 boundary, nc remainder
+	f.Add(uint16(8), uint16(257), uint16(129), uint64(6), true)  // kc=256 crossing
+	f.Add(uint16(7), uint16(300), uint16(9), uint64(7), false)   // one full strip + 1-wide tail
+	f.Add(uint16(40), uint16(300), uint16(200), uint64(8), false)
+	f.Add(uint16(33), uint16(319), uint16(130), uint64(9), true)  // odd k: global pairwise tail
+	f.Add(uint16(150), uint16(300), uint16(40), uint64(10), true) // m crosses the mc=128 block boundary
+	f.Add(uint16(300), uint16(319), uint16(66), uint64(11), true) // m crosses the TN kc=512 mc clamp (256)
+	f.Add(uint16(319), uint16(318), uint16(223), uint64(12), true)
 }
 
 // FuzzCol2ImAdjoint checks the defining property of the backward lowering —

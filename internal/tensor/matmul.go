@@ -110,13 +110,23 @@ func putPackBuf(b []float32) {
 	packFree.mu.Unlock()
 }
 
+// gemmVariant identifies which member of the GEMM family a dispatch (and
+// its autotune bucket) belongs to. All three run the same shared-pack
+// sweep kernels; they differ only in how the operands are packed into the
+// canonical panel layouts.
+type gemmVariant uint8
+
+const (
+	gemmNN gemmVariant = iota // C = A·B        (forward)
+	gemmNT                    // C = A·Bᵀ       (MatMulT, input gradient)
+	gemmTN                    // C = Aᵀ·B       (TMatMul, weight gradient)
+	gemmVariants
+)
+
 // gemm dispatches C (+)= A·B over the worker pool. Large shapes take the
 // shared-pack v2 pipeline with autotuned blocking; small or skinny shapes
 // fall back to the row-saxpy kernel, whose per-row cost model fits them
-// better. While a shape bucket is still probing, each call times one
-// candidate blocking (the probe performs the real product, so no work is
-// thrown away); once decided, the winning candidate is a single atomic
-// load away.
+// better.
 func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return
@@ -128,19 +138,7 @@ func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 		return
 	}
 	if m >= gemmMR && n >= 16 && k >= 16 {
-		e := tuneFor(m, k, n)
-		if idx := int(e.chosen.Load()); idx >= 0 {
-			if e.calls.Add(1)%tuneReprobeEvery != 0 {
-				gemmV2(c, a, b, m, k, n, accumulate, tuneCands[idx])
-				return
-			}
-			// Drift probe: re-time one candidate round-robin (see
-			// tuneEntry) — contaminated startup probes self-correct.
-		}
-		probe := e.nextProbe()
-		t0 := time.Now()
-		gemmV2(c, a, b, m, k, n, accumulate, tuneCands[probe])
-		e.record(probe, time.Since(t0), m*k*n)
+		gemmTuned(gemmNN, c, a, b, m, k, n, accumulate)
 		return
 	}
 	j := getGemmJob()
@@ -151,6 +149,27 @@ func gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	putGemmJob(j)
 }
 
+// gemmTuned runs one GEMM-family product through the per-(variant, shape)
+// autotuner: frozen buckets take the winning candidate a single atomic
+// load away; while a bucket is still probing, each call times one
+// candidate blocking (the probe performs the real product, so no work is
+// thrown away). Every tuneReprobeEvery-th call on a frozen bucket re-times
+// one candidate round-robin, so contaminated startup probes self-correct
+// (see tuneEntry).
+func gemmTuned(v gemmVariant, c, a, b []float32, m, k, n int, accumulate bool) {
+	e := tuneFor(v, m, k, n)
+	if idx := int(e.chosen.Load()); idx >= 0 {
+		if e.calls.Add(1)%tuneReprobeEvery != 0 {
+			gemmV2(v, c, a, b, m, k, n, accumulate, e.cands[idx])
+			return
+		}
+	}
+	probe := e.nextProbe()
+	t0 := time.Now()
+	gemmV2(v, c, a, b, m, k, n, accumulate, e.cands[probe])
+	e.record(probe, time.Since(t0), m*k*n)
+}
+
 // gemmV2Job carries the shared-pack pipeline's per-panel state to the pool
 // workers. One job serves a whole gemmV2 call: the caller mutates the panel
 // fields between parallel.Run barriers (Run returns only after every chunk
@@ -159,11 +178,18 @@ type gemmV2Job struct {
 	c, a, b    []float32
 	m, k, n    int
 	accumulate bool
-	pb         []float32 // the one shared packed panel (nil on direct path)
+	pb         []float32 // the one shared packed B panel (nil on direct path)
+	pa         []float32 // packed Aᵀ block (gemmTN only; nil otherwise)
 	k0, kcur   int       // current panel's k range
 	j0, ncur   int       // current panel's n range
 	i0, mcur   int       // current mc block's row range (sweep chunks offset by i0)
 	kc, nc     int       // blocking (direct path iterates panels itself)
+	// A addressing for the sweeps: row i of the effective (m,k) A lives at
+	// as[(i-aBase)·aStride + aOff : +kcur]. For gemmNN/gemmNT this is A
+	// itself (as=a, aBase=0, aStride=k, aOff=k0); for gemmTN it is the
+	// transpose-packed block (as=pa, aBase=i0, aStride=kcur, aOff=0).
+	as                   []float32
+	aBase, aStride, aOff int
 }
 
 var gemmV2JobFree parallel.Pool[gemmV2Job]
@@ -192,41 +218,93 @@ var gemmV2JobFree parallel.Pool[gemmV2Job]
 //
 // Every variant accumulates each C element in the same pairwise k order, so
 // all candidates remain bitwise-identical (TestGEMMV2CandidatesGolden).
-func gemmV2(c, a, b []float32, m, k, n int, accumulate bool, cand tuneCand) {
+//
+// The transposed family (v != gemmNN) runs the SAME panel loop and sweep
+// kernels; only the packing differs per operand orientation:
+//
+//   - gemmNT (C = A·Bᵀ): B is (n,k), so the effective Bᵀ panel is packed by
+//     reading B rows along their contiguous k extent and scattering each
+//     into one panel column — a near-copy per B row (gemmPackPanelNTChunk /
+//     gemmPackStripNTChunk). A is (m,k) row-major, exactly as in gemmNN.
+//   - gemmTN (C = Aᵀ·B): B is (k,n) row-major, exactly as in gemmNN, so the
+//     B pack routines are reused verbatim; A is (k,m) and is transpose-
+//     packed per (mc,kc) block into a second pooled buffer the sweeps then
+//     read as canonical row-major A (gemmPackATChunk). mc is bounded so the
+//     block always fits the pooled buffer.
+//
+// Because the sweeps are shared, the transposed variants inherit the
+// bitwise candidate-invariance contract for free: packing relocates
+// operand bytes, never reorders the per-element float operations.
+func gemmV2(v gemmVariant, c, a, b []float32, m, k, n int, accumulate bool, cand tuneCand) {
 	j := gemmV2JobFree.Get()
 	j.c, j.a, j.b = c, a, b
 	j.m, j.k, j.n = m, k, n
 	j.accumulate = accumulate
 	j.kc, j.nc = cand.kc, cand.nc
 	if !cand.pack {
+		// Direct-B path (gemmNN candidates only: the transposed variants'
+		// effective B is not materialized row-major, so their candidate
+		// sets are all-pack).
 		parallel.Run(m, gemmMR, j, gemmDirectChunk)
-	} else {
-		pack, sweep := gemmPackPanelChunk, gemmSweepChunk
+		j.c, j.a, j.b = nil, nil, nil
+		gemmV2JobFree.Put(j)
+		return
+	}
+	packB, sweep := gemmPackPanelChunk, gemmSweepChunk
+	if cand.strip {
+		packB, sweep = gemmPackStripChunk, gemmStripSweepChunk
+	}
+	if v == gemmNT {
+		packB = gemmPackPanelNTChunk
 		if cand.strip {
-			pack, sweep = gemmPackStripChunk, gemmStripSweepChunk
+			packB = gemmPackStripNTChunk
 		}
-		mc := cand.mc
-		if mc <= 0 {
-			mc = m
+	}
+	mc := cand.mc
+	if mc <= 0 {
+		mc = m
+	}
+	var pa []float32
+	if v == gemmTN {
+		if maxMC := packBufCap / cand.kc; mc > maxMC {
+			mc = maxMC // keep the packed Aᵀ block inside one pooled buffer
 		}
-		pb := getPackBuf()
-		j.pb = pb
-		for i0 := 0; i0 < m; i0 += mc {
-			j.i0, j.mcur = i0, min(mc, m-i0)
-			for k0 := 0; k0 < k; k0 += cand.kc {
-				kcur := min(cand.kc, k-k0)
-				for j0 := 0; j0 < n; j0 += cand.nc {
-					j.k0, j.kcur = k0, kcur
-					j.j0, j.ncur = j0, min(cand.nc, n-j0)
-					parallel.Run(kcur, gemmPackGrain, j, pack)
-					parallel.Run(j.mcur, gemmMR, j, sweep)
+		pa = getPackBuf()
+		j.pa = pa
+	}
+	pb := getPackBuf()
+	j.pb = pb
+	for i0 := 0; i0 < m; i0 += mc {
+		j.i0, j.mcur = i0, min(mc, m-i0)
+		for k0 := 0; k0 < k; k0 += cand.kc {
+			kcur := min(cand.kc, k-k0)
+			j.k0, j.kcur = k0, kcur
+			if v == gemmTN {
+				parallel.Run(j.mcur, gemmPackGrain, j, gemmPackATChunk)
+				j.as, j.aBase, j.aStride, j.aOff = pa, i0, kcur, 0
+			} else {
+				j.as, j.aBase, j.aStride, j.aOff = a, 0, k, k0
+			}
+			for j0 := 0; j0 < n; j0 += cand.nc {
+				j.j0, j.ncur = j0, min(cand.nc, n-j0)
+				if v == gemmNT {
+					// The NT pack fans out over B rows (panel columns), not
+					// panel k-rows: that is the operand's contiguous axis.
+					parallel.Run(j.ncur, gemmPackGrain, j, packB)
+				} else {
+					parallel.Run(kcur, gemmPackGrain, j, packB)
 				}
+				parallel.Run(j.mcur, gemmMR, j, sweep)
 			}
 		}
-		j.pb = nil
-		putPackBuf(pb)
 	}
-	j.c, j.a, j.b = nil, nil, nil
+	j.pb = nil
+	putPackBuf(pb)
+	if pa != nil {
+		j.pa = nil
+		putPackBuf(pa)
+	}
+	j.c, j.a, j.b, j.as = nil, nil, nil, nil
 	gemmV2JobFree.Put(j)
 }
 
@@ -244,14 +322,18 @@ func gemmPackPanelChunk(ctx any, lo, hi int) {
 
 // gemmSweepChunk updates C rows [lo,hi) of the current mc block (absolute
 // rows i0+lo..i0+hi), cols [j0,j0+ncur) from the shared packed panel with
-// the register micro-kernel. On the first k panel of a non-accumulating
-// product it also zeroes its C band (each band is touched by exactly one
-// chunk per panel, so the zeroing races with nothing).
+// the register micro-kernel. A rows come from the job's generalized A
+// addressing (A in place, or the packed Aᵀ block for gemmTN). On the first
+// k panel of a non-accumulating product it also zeroes its C band (each
+// band is touched by exactly one chunk per panel, so the zeroing races
+// with nothing).
 func gemmSweepChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmV2Job)
-	c, a, pb := g.c, g.a, g.pb
-	k, n := g.k, g.n
+	c, as, pb := g.c, g.as, g.pb
+	n := g.n
 	k0, kcur, j0, ncur := g.k0, g.kcur, g.j0, g.ncur
+	aStride := g.aStride
+	aOff := (lo+g.i0-g.aBase)*aStride + g.aOff
 	lo, hi = lo+g.i0, hi+g.i0
 	if k0 == 0 && !g.accumulate {
 		for i := lo; i < hi; i++ {
@@ -260,10 +342,12 @@ func gemmSweepChunk(ctx any, lo, hi int) {
 	}
 	i := lo
 	for ; i+gemmMR <= hi; i += gemmMR {
-		gemmMicro4(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+		gemmMicro4(c, as, pb, aOff, aStride, 0, ncur, i, n, kcur, j0, ncur)
+		aOff += gemmMR * aStride
 	}
 	for ; i < hi; i++ {
-		gemmMicro1(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+		gemmMicro1(c, as, pb, aOff, aStride, 0, ncur, i, n, kcur, j0, ncur)
+		aOff += aStride
 	}
 }
 
@@ -287,6 +371,64 @@ func gemmPackStripChunk(ctx any, lo, hi int) {
 	}
 }
 
+// gemmPackPanelNTChunk packs panel columns [lo,hi) (relative to j0) of the
+// effective Bᵀ panel for gemmNT: element (kk, jj) of the panel is
+// B[(j0+jj)·k + k0+kk], so each B row is read contiguously along its k
+// extent — a near-copy — and scattered into one panel column with stride
+// ncur. Chunks touch disjoint panel columns.
+func gemmPackPanelNTChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	b, pb := g.b, g.pb
+	k, k0, j0, ncur, kcur := g.k, g.k0, g.j0, g.ncur, g.kcur
+	for jj := lo; jj < hi; jj++ {
+		brow := b[(j0+jj)*k+k0 : (j0+jj)*k+k0+kcur]
+		for kk, v := range brow {
+			pb[kk*ncur+jj] = v
+		}
+	}
+}
+
+// gemmPackStripNTChunk is gemmPackPanelNTChunk's strip-layout twin: panel
+// column jj lands in strip jj/8 at within-strip offset jj%8 (see
+// gemmPackStripChunk for the strip layout), so the contiguous B-row read
+// scatters with stride 8. Chunks touch disjoint panel columns.
+func gemmPackStripNTChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	b, pb := g.b, g.pb
+	k, k0, j0, kcur := g.k, g.k0, g.j0, g.kcur
+	for jj := lo; jj < hi; jj++ {
+		brow := b[(j0+jj)*k+k0 : (j0+jj)*k+k0+kcur]
+		ps := pb[(jj&^7)*kcur+(jj&7):]
+		for kk, v := range brow {
+			ps[kk*8] = v
+		}
+	}
+}
+
+// gemmPackATChunk transpose-packs rows [lo,hi) (relative to i0) of the
+// current (mc,kc) block of the effective Aᵀ for gemmTN: packed row i' is
+// A[k0..k0+kcur)[i0+i'] gathered down A's column, i.e.
+// pa[i'·kcur + kk] = a[(k0+kk)·m + i0+i']. The kk gather is blocked so the
+// ~kcur source cache lines of a block stay resident while consecutive
+// destination rows re-walk them. Chunks write disjoint packed rows.
+func gemmPackATChunk(ctx any, lo, hi int) {
+	g := ctx.(*gemmV2Job)
+	a, pa := g.a, g.pa
+	m, k0, kcur, i0 := g.m, g.k0, g.kcur, g.i0
+	const kb = 128
+	for kk0 := 0; kk0 < kcur; kk0 += kb {
+		kk1 := min(kk0+kb, kcur)
+		for ii := lo; ii < hi; ii++ {
+			row := pa[ii*kcur : ii*kcur+kcur]
+			col := (k0+kk0)*m + i0 + ii
+			for kk := kk0; kk < kk1; kk++ {
+				row[kk] = a[col]
+				col += m
+			}
+		}
+	}
+}
+
 // gemmStripSweepChunk updates C rows [lo,hi) of the current mc block from a
 // strip-packed panel with the v3 strip kernel: per row and 8-wide column
 // strip, eight accumulators live in registers across the whole k sweep and
@@ -301,13 +443,16 @@ func gemmPackStripChunk(ctx any, lo, hi int) {
 // sum in a register instead of memory does not change its value.
 func gemmStripSweepChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmV2Job)
-	c, a, pb := g.c, g.a, g.pb
-	k, n := g.k, g.n
+	c, as, pb := g.c, g.as, g.pb
+	n := g.n
 	k0, kcur, j0, ncur := g.k0, g.kcur, g.j0, g.ncur
+	aStride := g.aStride
+	aOff := (lo+g.i0-g.aBase)*aStride + g.aOff
 	lo, hi = lo+g.i0, hi+g.i0
 	seed := g.accumulate || k0 > 0
 	for i := lo; i < hi; i++ {
-		ai := a[i*k+k0 : i*k+k0+kcur]
+		ai := as[aOff : aOff+kcur]
+		aOff += aStride
 		ci := c[i*n+j0 : i*n+j0+ncur]
 		for js := 0; js < ncur; js += 8 {
 			bs := pb[js*kcur:]
@@ -403,10 +548,10 @@ func gemmDirectChunk(ctx any, lo, hi int) {
 			ncur := min(g.nc, n-j0)
 			i := lo
 			for ; i+gemmMR <= hi; i += gemmMR {
-				gemmMicro4(c, a, b, k0*n+j0, n, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro4(c, a, b, i*k+k0, k, k0*n+j0, n, i, n, kcur, j0, ncur)
 			}
 			for ; i < hi; i++ {
-				gemmMicro1(c, a, b, k0*n+j0, n, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro1(c, a, b, i*k+k0, k, k0*n+j0, n, i, n, kcur, j0, ncur)
 			}
 		}
 	}
@@ -437,10 +582,10 @@ func gemmPackedChunk(ctx any, lo, hi int) {
 			}
 			i := lo
 			for ; i+gemmMR <= hi; i += gemmMR {
-				gemmMicro4(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro4(c, a, pb, i*k+k0, k, 0, ncur, i, n, kcur, j0, ncur)
 			}
 			for ; i < hi; i++ {
-				gemmMicro1(c, a, pb, 0, ncur, i, k, n, k0, kcur, j0, ncur)
+				gemmMicro1(c, a, pb, i*k+k0, k, 0, ncur, i, n, kcur, j0, ncur)
 			}
 		}
 	}
@@ -450,18 +595,20 @@ func gemmPackedChunk(ctx any, lo, hi int) {
 // gemmMicro4 updates C rows i..i+3, cols [j0,j0+ncur) from kcur rows of B
 // starting at bp[bOff] with row stride bStride — a packed panel (bOff=0,
 // bStride=ncur) or B read in place (bOff=k0·n+j0, bStride=n); the inner
-// loop is contiguous either way. The 2-wide k unroll halves C read/write
-// traffic per flop; the four A scalars per k-step live in registers across
-// the j loop.
-func gemmMicro4(c, a, bp []float32, bOff, bStride, i, k, n, k0, kcur, j0, ncur int) {
+// loop is contiguous either way. A rows likewise start at a[aOff] with row
+// stride aStride — A read in place (aOff=i·k+k0, aStride=k) or a
+// transpose-packed block (see gemmSweepChunk). The 2-wide k unroll halves
+// C read/write traffic per flop; the four A scalars per k-step live in
+// registers across the j loop.
+func gemmMicro4(c, a, bp []float32, aOff, aStride, bOff, bStride, i, n, kcur, j0, ncur int) {
 	ci0 := c[i*n+j0 : i*n+j0+ncur]
 	ci1 := c[(i+1)*n+j0 : (i+1)*n+j0+ncur]
 	ci2 := c[(i+2)*n+j0 : (i+2)*n+j0+ncur]
 	ci3 := c[(i+3)*n+j0 : (i+3)*n+j0+ncur]
-	ai0 := a[i*k+k0 : i*k+k0+kcur]
-	ai1 := a[(i+1)*k+k0 : (i+1)*k+k0+kcur]
-	ai2 := a[(i+2)*k+k0 : (i+2)*k+k0+kcur]
-	ai3 := a[(i+3)*k+k0 : (i+3)*k+k0+kcur]
+	ai0 := a[aOff : aOff+kcur]
+	ai1 := a[aOff+aStride : aOff+aStride+kcur]
+	ai2 := a[aOff+2*aStride : aOff+2*aStride+kcur]
+	ai3 := a[aOff+3*aStride : aOff+3*aStride+kcur]
 	kk := 0
 	for ; kk+2 <= kcur; kk += 2 {
 		o := bOff + kk*bStride
@@ -502,9 +649,9 @@ func gemmMicro4(c, a, bp []float32, bOff, bStride, i, k, n, k0, kcur, j0, ncur i
 }
 
 // gemmMicro1 is the single-row remainder of gemmMicro4.
-func gemmMicro1(c, a, bp []float32, bOff, bStride, i, k, n, k0, kcur, j0, ncur int) {
+func gemmMicro1(c, a, bp []float32, aOff, aStride, bOff, bStride, i, n, kcur, j0, ncur int) {
 	ci := c[i*n+j0 : i*n+j0+ncur]
-	ai := a[i*k+k0 : i*k+k0+kcur]
+	ai := a[aOff : aOff+kcur]
 	kk := 0
 	for ; kk+2 <= kcur; kk += 2 {
 		o := bOff + kk*bStride
@@ -604,6 +751,10 @@ func gemmTDims(a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
+// gemmT dispatches C (+)= A·Bᵀ. Large shapes run the shared-pack v2/v3
+// pipeline with per-shape autotuned blocking (the gemmNT variant
+// transpose-packs B panels); small or skinny shapes keep the PR-1 4×4
+// register tiles, whose tile setup cost fits them better.
 func gemmT(c, a, b []float32, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return
@@ -612,6 +763,10 @@ func gemmT(c, a, b []float32, m, k, n int, accumulate bool) {
 		if !accumulate {
 			zeroSlice(c[:m*n])
 		}
+		return
+	}
+	if m >= gemmMR && n >= 16 && k >= 16 {
+		gemmTuned(gemmNT, c, a, b, m, k, n, accumulate)
 		return
 	}
 	j := getGemmJob()
@@ -625,7 +780,9 @@ func gemmT(c, a, b []float32, m, k, n int, accumulate bool) {
 // gemmTChunk computes C rows [lo,hi) of C = A·Bᵀ with 4×4 register tiles:
 // both operands are read along contiguous k-rows, 16 fused multiply-adds
 // per 8 loads (the seed's dot kernel did 1 per 2). k is blocked so the
-// four A rows and four B rows of a tile stay L1-resident.
+// four A rows and four B rows of a tile stay L1-resident. Kept as the
+// small-shape path and the benchmark baseline the autotuned pipeline is
+// gated against (BenchmarkMatMulT/tiled).
 func gemmTChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmJob)
 	c, a, b := g.c, g.a, g.b
@@ -744,6 +901,10 @@ func tGemmDims(a, b *Tensor) (k, m, n int) {
 	return k, m, n
 }
 
+// tGemm dispatches C (+)= Aᵀ·B. Large shapes run the shared-pack v2/v3
+// pipeline with per-shape autotuned blocking (the gemmTN variant
+// transpose-packs A blocks; B packs exactly as the forward product); small
+// or skinny shapes keep the PR-1 4×4 register tiles.
 func tGemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return
@@ -752,6 +913,10 @@ func tGemm(c, a, b []float32, m, k, n int, accumulate bool) {
 		if !accumulate {
 			zeroSlice(c[:m*n])
 		}
+		return
+	}
+	if m >= gemmMR && n >= 16 && k >= 16 {
+		gemmTuned(gemmTN, c, a, b, m, k, n, accumulate)
 		return
 	}
 	j := getGemmJob()
@@ -766,7 +931,8 @@ func tGemm(c, a, b []float32, m, k, n int, accumulate bool) {
 // For each k step the tile loads 4 contiguous A values and 4 contiguous B
 // values (both along the rows of the k-major operands) and performs 16
 // fused multiply-adds; k is blocked so a tile's A column slab stays cached
-// across the j sweep.
+// across the j sweep. Kept as the small-shape path and the benchmark
+// baseline the autotuned pipeline is gated against (BenchmarkTMatMul/tiled).
 func tGemmChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmJob)
 	c, a, b := g.c, g.a, g.b

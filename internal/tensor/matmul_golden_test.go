@@ -215,7 +215,7 @@ func TestGEMMV2CandidatesGolden(t *testing.T) {
 			var first *Tensor
 			for ci, cand := range tuneCands {
 				got := New(m, n)
-				gemmV2(got.data, a.data, b.data, m, k, n, false, cand)
+				gemmV2(gemmNN, got.data, a.data, b.data, m, k, n, false, cand)
 				if d := MaxAbsDiff(got, want); d > tol(k) {
 					t.Fatalf("candidate %d (%+v): differs from naive by %g", ci, cand, d)
 				}
@@ -229,7 +229,7 @@ func TestGEMMV2CandidatesGolden(t *testing.T) {
 				fillSeq(acc, rng)
 				wantAcc := acc.Clone()
 				Add(wantAcc, want)
-				gemmV2(acc.data, a.data, b.data, m, k, n, true, cand)
+				gemmV2(gemmNN, acc.data, a.data, b.data, m, k, n, true, cand)
 				if d := MaxAbsDiff(acc, wantAcc); d > tol(k) {
 					t.Fatalf("candidate %d (%+v) accumulate: differs by %g", ci, cand, d)
 				}
@@ -292,7 +292,7 @@ func TestTuneTablePersistence(t *testing.T) {
 	rng := NewRNG(49)
 	fillSeq(a, rng)
 	fillSeq(b, rng)
-	e := tuneFor(24, 200, 48)
+	e := tuneFor(gemmNN, 24, 200, 48)
 	for i := 0; i < 4*len(tuneCands)*tuneProbeRuns && e.chosen.Load() < 0; i++ {
 		gemm(c.data, a.data, b.data, 24, 200, 48, false)
 	}
@@ -308,7 +308,7 @@ func TestTuneTablePersistence(t *testing.T) {
 	if err := LoadTuneTable(path); err != nil {
 		t.Fatal(err)
 	}
-	e2 := tuneFor(24, 200, 48)
+	e2 := tuneFor(gemmNN, 24, 200, 48)
 	if got := e2.chosen.Load(); got != chosen {
 		t.Fatalf("reloaded choice %d, want %d", got, chosen)
 	}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestGEMMTransposedCandidatesGolden pins every transposed-variant autotune
+// candidate — shared-pack, mc row-blocked and the v3 8-wide strip kernels,
+// with B transpose-packed for C = A·Bᵀ and A transpose-packed for
+// C = Aᵀ·B — against the naive references at the same degenerate shapes the
+// forward pipeline is pinned on, under a worker count larger than m for
+// the small shapes. As for the forward product, the candidates must agree
+// BITWISE: they share the sweep kernels, so the per-element pairwise
+// k-association is identical and the autotuner's choice can never change
+// results.
+func TestGEMMTransposedCandidatesGolden(t *testing.T) {
+	old := SetWorkers(8)
+	defer SetWorkers(old)
+	rng := NewRNG(52)
+	// The forward v2Shapes plus the transposed-only edges: m past 256
+	// splits the gemmTN Aᵀ pack at the packBufCap/kc clamp for the kc=512
+	// candidates (the mc=128 block boundary is already in v2Shapes).
+	shapes := append(append([][3]int{}, v2Shapes...), [3]int{300, 520, 40}, [3]int{270, 600, 72})
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("NT/%dx%dx%d", m, k, n), func(t *testing.T) {
+			a, b := New(m, k), New(n, k)
+			fillSeq(a, rng)
+			fillSeq(b, rng)
+			want := refMatMulT(a, b)
+			checkTransposedCands(t, gemmNT, a, b, want, m, k, n, rng)
+		})
+		t.Run(fmt.Sprintf("TN/%dx%dx%d", m, k, n), func(t *testing.T) {
+			a, b := New(k, m), New(k, n)
+			fillSeq(a, rng)
+			fillSeq(b, rng)
+			want := refTMatMul(a, b)
+			checkTransposedCands(t, gemmTN, a, b, want, m, k, n, rng)
+		})
+	}
+}
+
+func checkTransposedCands(t *testing.T, v gemmVariant, a, b, want *Tensor, m, k, n int, rng *RNG) {
+	t.Helper()
+	var first *Tensor
+	for ci, cand := range tuneCandsT {
+		got := New(m, n)
+		gemmV2(v, got.data, a.data, b.data, m, k, n, false, cand)
+		if d := MaxAbsDiff(got, want); d > tol(k) {
+			t.Fatalf("candidate %d (%+v): differs from naive by %g", ci, cand, d)
+		}
+		if first == nil {
+			first = got
+		} else if i, ok := bitwiseEqual(got, first); !ok {
+			t.Fatalf("candidate %d (%+v): not bitwise-equal to candidate 0 at index %d", ci, cand, i)
+		}
+		// Accumulating form: C = seed + product.
+		acc := New(m, n)
+		fillSeq(acc, rng)
+		wantAcc := acc.Clone()
+		Add(wantAcc, want)
+		gemmV2(v, acc.data, a.data, b.data, m, k, n, true, cand)
+		if d := MaxAbsDiff(acc, wantAcc); d > tol(k) {
+			t.Fatalf("candidate %d (%+v) accumulate: differs by %g", ci, cand, d)
+		}
+	}
+}
+
+// transposedBackwardShapes are the Figure-1 FC backward products the
+// determinism goldens run on: the batch-576 input-gradient (A·Bᵀ) and
+// weight-gradient (Aᵀ·B) shapes, plus the small-m / small-n regimes where
+// the shared pack matters most.
+var transposedBackwardShapes = []struct {
+	name    string
+	v       gemmVariant
+	m, k, n int
+}{
+	{"NT/input_grad_576x128", gemmNT, 576, 128, 128},
+	{"NT/input_grad_8x512", gemmNT, 8, 512, 512},
+	{"TN/weight_grad_128x576", gemmTN, 128, 576, 128},
+	{"TN/weight_grad_16x576x512", gemmTN, 16, 576, 512},
+}
+
+// TestTransposedGEMMBitwiseDeterminism pins MatMulT/TMatMul to one
+// reference output BITWISE at every worker count the training stack uses
+// and across every autotune candidate — the same contract the forward GEMM
+// and col2im carry: resizing the pool or re-tuning a bucket can never
+// perturb the backward passes. The reference is candidate 0 at one worker;
+// the public dispatcher is checked on top of the candidates, whatever
+// probe state its bucket is in.
+func TestTransposedGEMMBitwiseDeterminism(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	for _, tc := range transposedBackwardShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := NewRNG(53)
+			var a, b *Tensor
+			if tc.v == gemmNT {
+				a, b = New(tc.m, tc.k), New(tc.n, tc.k)
+			} else {
+				a, b = New(tc.k, tc.m), New(tc.k, tc.n)
+			}
+			fillSeq(a, rng)
+			fillSeq(b, rng)
+			SetWorkers(1)
+			ref := New(tc.m, tc.n)
+			gemmV2(tc.v, ref.data, a.data, b.data, tc.m, tc.k, tc.n, false, tuneCandsT[0])
+			for _, w := range []int{1, 2, 3, 4, 8, 16} {
+				SetWorkers(w)
+				for ci, cand := range tuneCandsT {
+					out := New(tc.m, tc.n)
+					gemmV2(tc.v, out.data, a.data, b.data, tc.m, tc.k, tc.n, false, cand)
+					if i, ok := bitwiseEqual(out, ref); !ok {
+						t.Fatalf("workers=%d candidate %d (%+v): differs from reference at index %d",
+							w, ci, cand, i)
+					}
+				}
+				out := New(tc.m, tc.n)
+				if tc.v == gemmNT {
+					MatMulTInto(out, a, b, false)
+				} else {
+					TMatMulInto(out, a, b, false)
+				}
+				if i, ok := bitwiseEqual(out, ref); !ok {
+					t.Fatalf("workers=%d: dispatcher differs from reference at index %d", w, i)
+				}
+			}
+		})
+	}
+}
+
+// TestTransposedTunePersistence round-trips a transposed-variant decision
+// through the JSON table: the variant key must survive save/load, and a
+// loaded bucket must skip probing with the same choice.
+func TestTransposedTunePersistence(t *testing.T) {
+	ResetTuneTable()
+	defer ResetTuneTable()
+	a, b, c := New(24, 200), New(48, 200), New(24, 48)
+	rng := NewRNG(54)
+	fillSeq(a, rng)
+	fillSeq(b, rng)
+	e := tuneFor(gemmNT, 24, 200, 48)
+	for i := 0; i < 4*len(e.cands)*tuneProbeRuns && e.chosen.Load() < 0; i++ {
+		gemmT(c.data, a.data, b.data, 24, 200, 48, false)
+	}
+	if e.chosen.Load() < 0 {
+		t.Fatal("autotuner did not decide after probe budget")
+	}
+	chosen := e.chosen.Load()
+	path := t.TempDir() + "/tune.json"
+	if err := SaveTuneTable(path); err != nil {
+		t.Fatal(err)
+	}
+	ResetTuneTable()
+	if err := LoadTuneTable(path); err != nil {
+		t.Fatal(err)
+	}
+	e2 := tuneFor(gemmNT, 24, 200, 48)
+	if got := e2.chosen.Load(); got != chosen {
+		t.Fatalf("reloaded choice %d, want %d", got, chosen)
+	}
+	// The forward bucket at the same shape must be unaffected: variants
+	// tune independently.
+	if got := tuneFor(gemmNN, 24, 200, 48).chosen.Load(); got != -1 {
+		t.Fatalf("forward bucket pre-decided to %d by a transposed record", got)
+	}
+}
+
+// TestFlushTuneTable pins the synchronous flush the cmds call at exit: the
+// debounced background saver can lose every freeze when a short-lived
+// process exits inside its coalescing window, so FlushTuneTable must write
+// the file immediately — but only once something has actually decided (an
+// undecided table must not clobber an earlier run's file).
+func TestFlushTuneTable(t *testing.T) {
+	path := t.TempDir() + "/tune.json"
+	t.Setenv("SAMO_GEMM_TUNE", path)
+	ResetTuneTable()
+	defer ResetTuneTable()
+
+	if err := FlushTuneTable(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("flush of an undecided table wrote a file")
+	}
+
+	a, b, c := New(24, 200), New(200, 48), New(24, 48)
+	rng := NewRNG(55)
+	fillSeq(a, rng)
+	fillSeq(b, rng)
+	e := tuneFor(gemmNN, 24, 200, 48)
+	for i := 0; i < 4*len(e.cands)*tuneProbeRuns && e.chosen.Load() < 0; i++ {
+		gemm(c.data, a.data, b.data, 24, 200, 48, false)
+	}
+	if e.chosen.Load() < 0 {
+		t.Fatal("autotuner did not decide after probe budget")
+	}
+	if err := FlushTuneTable(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("flush did not write the tune table: %v", err)
+	}
+	// Let the background saver's pending kick (from the freeze above)
+	// land before asserting on file absence below — its debounce window
+	// is 20ms and it would otherwise recreate the file we remove.
+	time.Sleep(150 * time.Millisecond)
+
+	// The flushed file must round-trip.
+	chosen := e.chosen.Load()
+	ResetTuneTable()
+	if err := LoadTuneTable(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuneFor(gemmNN, 24, 200, 48).chosen.Load(); got != chosen {
+		t.Fatalf("flushed table reloaded choice %d, want %d", got, chosen)
+	}
+	// A table holding only disk-loaded decisions is not dirty: flushing
+	// again must not rewrite the file (it could rename a stale startup
+	// copy over a concurrent process's newer save).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlushTuneTable(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("flush of a loaded-but-unchanged table rewrote the file")
+	}
+}

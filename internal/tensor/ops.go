@@ -3,6 +3,9 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+
+	"github.com/sparse-dl/samo/internal/parallel"
 )
 
 // Add computes dst += src elementwise.
@@ -224,12 +227,17 @@ func GELUBackward(grad, pre *Tensor) {
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row of an (m,n)
-// tensor in place.
+// tensor in place. Degenerate shapes are no-ops like every other op: an
+// (m,0) tensor has only empty rows (there is nothing to normalize), so it
+// passes through instead of panicking on the max scan.
 func SoftmaxRows(t *Tensor) {
 	if t.Rank() != 2 {
 		panic("tensor: SoftmaxRows requires rank 2")
 	}
 	n := t.shape[1]
+	if n == 0 {
+		return
+	}
 	for i := 0; i < t.shape[0]; i++ {
 		row := t.data[i*n : (i+1)*n]
 		max := row[0]
@@ -251,7 +259,8 @@ func SoftmaxRows(t *Tensor) {
 	}
 }
 
-// ArgmaxRows returns the index of the maximum in each row of an (m,n) tensor.
+// ArgmaxRows returns the index of the maximum in each row of an (m,n)
+// tensor. Zero-width rows yield index 0 (no element compares higher).
 func ArgmaxRows(t *Tensor) []int {
 	if t.Rank() != 2 {
 		panic("tensor: ArgmaxRows requires rank 2")
@@ -273,10 +282,71 @@ func ArgmaxRows(t *Tensor) []int {
 
 // HasNonFinite reports whether t contains an Inf or NaN — the overflow check
 // that drives dynamic loss scaling.
-func HasNonFinite(t *Tensor) bool {
-	for _, v := range t.data {
-		f := float64(v)
-		if math.IsInf(f, 0) || math.IsNaN(f) {
+func HasNonFinite(t *Tensor) bool { return HasNonFiniteSlice(t.data) }
+
+// nonFiniteGrain is the minimum elements per parallel chunk of the
+// non-finite scan: the per-element work is two integer ops, so fine-grained
+// fan-out would be all dispatch overhead. Slices at or under one grain run
+// serially on the caller.
+const nonFiniteGrain = 16384
+
+// nonFiniteJob carries one scan to the pool workers; the atomic flag both
+// collects the verdict and lets later chunks exit early once any worker
+// has found a non-finite value.
+type nonFiniteJob struct {
+	data  []float32
+	found atomic.Bool
+}
+
+var nonFiniteJobFree parallel.Pool[nonFiniteJob]
+
+// HasNonFiniteSlice is HasNonFinite on a raw slice — the form the
+// mixed-precision state manager calls once per parameter per step on the
+// captured fp16 gradients. Large slices are scanned in chunks on the
+// worker pool with an early exit through a shared atomic flag; the scan is
+// allocation-free (pooled job, pooled dispatch), which keeps the fp16
+// train-step zero-alloc contract intact.
+func HasNonFiniteSlice(s []float32) bool {
+	if len(s) <= nonFiniteGrain {
+		return hasNonFiniteSerial(s)
+	}
+	j := nonFiniteJobFree.Get()
+	j.data = s
+	j.found.Store(false)
+	parallel.Run(len(s), nonFiniteGrain, j, hasNonFiniteChunk)
+	found := j.found.Load()
+	j.data = nil
+	nonFiniteJobFree.Put(j)
+	return found
+}
+
+func hasNonFiniteChunk(ctx any, lo, hi int) {
+	g := ctx.(*nonFiniteJob)
+	// Re-check the shared flag between sub-blocks so a chunk abandons its
+	// scan soon after any worker finds a hit, without paying an atomic
+	// load per element.
+	const block = 8192
+	for ; lo < hi; lo += block {
+		if g.found.Load() {
+			return
+		}
+		end := lo + block
+		if end > hi {
+			end = hi
+		}
+		if hasNonFiniteSerial(g.data[lo:end]) {
+			g.found.Store(true)
+			return
+		}
+	}
+}
+
+// hasNonFiniteSerial is the serial reference scan (and the small-slice
+// path): a float32 is Inf or NaN exactly when its exponent bits are all
+// ones, one mask-compare per element.
+func hasNonFiniteSerial(s []float32) bool {
+	for _, v := range s {
+		if math.Float32bits(v)&0x7f800000 == 0x7f800000 {
 			return true
 		}
 	}

@@ -265,6 +265,29 @@ func TestArgmaxRows(t *testing.T) {
 	}
 }
 
+// TestRowOpsDegenerateShapes pins the zero-width and zero-row cases:
+// SoftmaxRows used to index row[0] and panic on an (m,0) tensor, unlike
+// every other op, which passes degenerate shapes through as no-ops.
+func TestRowOpsDegenerateShapes(t *testing.T) {
+	SoftmaxRows(New(3, 0)) // must not panic; nothing to normalize
+	SoftmaxRows(New(0, 4)) // no rows at all
+	SoftmaxRows(New(0, 0))
+
+	if got := ArgmaxRows(New(3, 0)); len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("ArgmaxRows on (3,0) = %v, want three zeros", got)
+	}
+	if got := ArgmaxRows(New(0, 4)); len(got) != 0 {
+		t.Errorf("ArgmaxRows on (0,4) = %v, want empty", got)
+	}
+
+	// Non-degenerate rows must be untouched by the guard.
+	a := FromSlice([]float32{0, 0}, 1, 2)
+	SoftmaxRows(a)
+	if a.At(0, 0) != 0.5 || a.At(0, 1) != 0.5 {
+		t.Errorf("SoftmaxRows on (1,2) zeros = %v", a.Data())
+	}
+}
+
 func TestHasNonFinite(t *testing.T) {
 	a := FromSlice([]float32{1, 2}, 2)
 	if HasNonFinite(a) {
@@ -277,5 +300,63 @@ func TestHasNonFinite(t *testing.T) {
 	a.Data()[1] = float32(math.NaN())
 	if !HasNonFinite(a) {
 		t.Error("missed NaN")
+	}
+}
+
+// refHasNonFinite is the pre-parallelization reference scan the pooled
+// chunked scan is golden-tested against.
+func refHasNonFinite(s []float32) bool {
+	for _, v := range s {
+		f := float64(v)
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHasNonFiniteParallelGolden pins the chunked worker-pool scan to the
+// serial reference across slice sizes spanning the serial/parallel
+// dispatch boundary, poison values (±Inf, NaN) planted at chunk edges and
+// interiors, and several worker counts.
+func TestHasNonFiniteParallelGolden(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	sizes := []int{0, 1, 100, nonFiniteGrain, nonFiniteGrain + 1, 3*nonFiniteGrain + 17, 8 * nonFiniteGrain}
+	for _, size := range sizes {
+		base := New(size)
+		fillSeq(base, NewRNG(uint64(size)|1))
+		positions := []int{-1} // -1: clean slice
+		if size > 0 {
+			positions = append(positions, 0, size/2, size-1)
+		}
+		for _, pos := range positions {
+			for _, poison := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+				s := base.Clone().Data()
+				if pos >= 0 {
+					s[pos] = float32(poison)
+				}
+				want := refHasNonFinite(s)
+				for _, w := range []int{1, 3, 8} {
+					SetWorkers(w)
+					if got := HasNonFiniteSlice(s); got != want {
+						t.Fatalf("size=%d pos=%d poison=%g workers=%d: got %v, want %v",
+							size, pos, poison, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHasNonFiniteZeroAlloc pins the overflow check's dispatch: the fp16
+// training step calls it once per parameter per step inside a zero-alloc
+// contract.
+func TestHasNonFiniteZeroAlloc(t *testing.T) {
+	t.Setenv("SAMO_GEMM_TUNE", "off") // hermetic process-wide alloc counting
+
+	big := New(4 * nonFiniteGrain)
+	HasNonFinite(big) // warm job pool and workers
+	if n := testing.AllocsPerRun(50, func() { HasNonFinite(big) }); n != 0 {
+		t.Fatalf("HasNonFinite allocates %.1f per call, want 0", n)
 	}
 }

@@ -27,22 +27,31 @@
 // goroutines per call. SetWorkers bounds the per-call fan-out atomically
 // and is safe to call mid-run; the pool itself is sized at GOMAXPROCS once.
 //
-// The dense GEMM — the kernel the paper's dense-compute argument rests on
-// — runs a BLIS-style shared-pack pipeline: each kc×nc panel of B is
-// packed once per call by the workers cooperatively, then swept by all of
-// them, instead of once per worker (which duplicated memory traffic
-// exactly when rows-per-worker was small, the FC backward regime). A tiny
-// per-shape autotuner picks among seven blocking candidates — shared-pack
-// panels at three aspect ratios, a pack-free direct-B kernel for very
-// small m, an mc row-blocked variant for tall m, and two v3 strip kernels
-// that pack panels in 8-wide k-major column strips and sweep them with
-// eight register accumulators per C row — by timing the first few real
-// calls on each ceil(log2) shape bucket; every candidate produces
-// bitwise-identical output, so the choice can never perturb training.
-// Decisions persist by default under the user cache dir (samo/
-// gemm_tune.json) via a debounced background save and are pre-loaded at
-// startup; SAMO_GEMM_TUNE overrides the path ("off" disables), and
-// SaveTuneTable/LoadTuneTable give explicit control.
+// The dense GEMM family — the kernels the paper's dense-compute argument
+// rests on — runs a unified BLIS-style shared-pack pipeline: each kc×nc
+// panel of B is packed once per call by the workers cooperatively, then
+// swept by all of them, instead of once per worker (which duplicated
+// memory traffic exactly when rows-per-worker was small, the FC backward
+// regime). All three family members dispatch through it — the forward
+// product and the transposed backward products MatMulT (C = A·Bᵀ, input
+// gradient) and TMatMul (C = Aᵀ·B, weight gradient) — sharing the sweep
+// kernels and differing only in packing: MatMulT transpose-packs B
+// panels, TMatMul transpose-packs A blocks. A tiny per-shape autotuner,
+// bucketed by (op variant, ceil-log2 shape), picks among the blocking
+// candidates — shared-pack panels at three aspect ratios, a pack-free
+// direct-B kernel for very small forward m, an mc row-blocked variant for
+// tall m, and two v3 strip kernels that pack panels in 8-wide k-major
+// column strips and sweep them with eight register accumulators per C row
+// — by timing the first few real calls on each bucket; every candidate
+// produces bitwise-identical output at every worker count, so the choice
+// can never perturb training. Decisions persist by default under the user
+// cache dir (samo/gemm_tune.json) via a debounced background save and are
+// pre-loaded at startup; the persisted records carry the variant (omitted
+// for the forward product, so older tables load unchanged; records from
+// unknown future variants are skipped). SAMO_GEMM_TUNE overrides the path
+// ("off" disables); SaveTuneTable/LoadTuneTable give explicit control,
+// and FlushTuneTable persists synchronously for short-lived processes
+// that would exit inside the background saver's coalescing window.
 //
 // The conv backward lowering (Col2Im), previously the last serial kernel
 // in the stack, runs as a parallel gather over disjoint (image, input-row)
@@ -144,6 +153,17 @@ func SaveTuneTable(path string) error { return tensor.SaveTuneTable(path) }
 
 // LoadTuneTable pre-seeds the GEMM autotuner from a SaveTuneTable file.
 func LoadTuneTable(path string) error { return tensor.LoadTuneTable(path) }
+
+// FlushTuneTable synchronously persists the autotuner's decisions to the
+// default tune path (SAMO_GEMM_TUNE, or the user cache dir). The
+// background saver debounces writes and cannot run at process exit, so
+// short-lived programs — the cmds call this as they return from run() —
+// would otherwise lose every blocking decision they probed. A no-op when
+// persistence is disabled or when this process has frozen no new decision
+// since startup (a table holding only disk-loaded decisions is never
+// rewritten, so a stale startup copy cannot clobber a concurrent
+// process's newer save).
+func FlushTuneTable() error { return tensor.FlushTuneTable() }
 
 // NewTensor returns a zero-filled tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
