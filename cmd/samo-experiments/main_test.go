@@ -17,6 +17,20 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunSparseExec drives the measured sparse-execution experiment — the
+// cmd's sparse-execution mode — and checks the comparison table arrives.
+func TestRunSparseExec(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "sparseexec"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Sparse execution", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
 // TestRunUnknownExperiment pins the error path: a bad name must return an
 // error listing the valid experiments, not exit the process.
 func TestRunUnknownExperiment(t *testing.T) {

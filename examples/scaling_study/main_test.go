@@ -27,3 +27,26 @@ func TestRunUnknownModel(t *testing.T) {
 		t.Fatal("expected unknown-model error")
 	}
 }
+
+// TestRunSparseExec drives the measured sparse-execution mode with a tiny
+// step budget and checks the comparison report structure.
+func TestRunSparseExec(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-sparse-exec", "-steps", "1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{"masked-dense", "sparse-exec", "pruned-FLOPs speedup"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunSparseExecBadSteps pins the mode's argument validation.
+func TestRunSparseExecBadSteps(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-sparse-exec", "-steps", "0"}, &buf); err == nil {
+		t.Fatal("expected steps validation error")
+	}
+}

@@ -4,125 +4,65 @@
 // methods); this package holds the *executable* Sputnik-style baseline: a
 // fully connected layer whose weights stay in CSR and whose forward/backward
 // run real sparse kernels (SpMM and SDDMM, the two kernels Gale et al.'s
-// Sputnik provides). It exists to demonstrate — in runnable Go, not just in
-// the calibrated timing model — that computing sparse at DL sparsities
-// produces identical numbers while exercising a completely different code
-// path, and to let benchmarks compare it against the dense path SAMO keeps.
+// Sputnik provides), with the density-aware crossover pinned OFF so the
+// sparse path runs unconditionally. Since the sparse execution path became
+// first-class (nn.SparseLinear), this is a thin pin of that layer to
+// ExecSparse plus the plain-SGD machinery the baseline comparisons use.
 package baselines
 
 import (
-	"fmt"
-
 	"github.com/sparse-dl/samo/internal/nn"
 	"github.com/sparse-dl/samo/internal/sparse"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
-// SparseLinear is y = x·Wᵀ + b with W (out, in) stored in CSR. Only the
-// unpruned weights exist; gradients are produced directly in the sparse
-// pattern via SDDMM, so the layer never materializes a dense weight or
-// weight-gradient tensor — the "pure sparse" design SAMO deliberately
-// avoids for compute.
+// SparseLinear is y = x·Wᵀ + b with W (out, in) stored in CSR, always
+// executed sparse (ExecSparse): the pure-sparse design SAMO deliberately
+// avoids for compute, kept runnable for benchmarks and equivalence tests.
 type SparseLinear struct {
-	W        *sparse.CSR // (out, in)
-	Wt       *sparse.CSR // cached transpose for the forward pass
-	B        *nn.Param
-	GradVals []float32 // gradient for W.Val (same pattern)
-	in, out  int
+	*nn.SparseLinear
 }
 
 // NewSparseLinear builds the layer from a dense weight matrix (in, out) and
 // a pruning index over its linearized view, keeping only unpruned entries.
-func NewSparseLinear(name string, dense *tensor.Tensor, ix *sparse.Index, rng *tensor.RNG) *SparseLinear {
-	if dense.Rank() != 2 {
-		panic("baselines: SparseLinear needs a rank-2 weight")
-	}
-	in, out := dense.Dim(0), dense.Dim(1)
-	vals := make([]float32, ix.NNZ())
-	ix.Compress(vals, dense.Data())
-	// The paper's FC computes x(n,in)·W(in,out); storing W transposed as
-	// (out, in) CSR lets SpMM produce yᵀ. We instead store W as (in, out)
-	// CSR and use its transpose for the backward; kernels are symmetric.
-	w := sparse.CSRFromIndex(ix, vals, in, out)
-	l := &SparseLinear{
-		W:        w.Transpose(), // (out, in)
-		B:        nnParam(name+".bias", out),
-		GradVals: make([]float32, ix.NNZ()),
-		in:       in, out: out,
-	}
-	l.Wt = l.W.Transpose() // (in, out)
-	return l
+// The rng parameter is retained for constructor symmetry with nn.NewLinear
+// (the bias starts at zero either way).
+func NewSparseLinear(name string, dense *tensor.Tensor, ix *sparse.Index, _ *tensor.RNG) *SparseLinear {
+	l := nn.NewSparseLinear(name, dense, ix)
+	l.Exec = nn.ExecSparse
+	return &SparseLinear{SparseLinear: l}
 }
 
-func nnParam(name string, n int) *nn.Param {
-	return &nn.Param{Name: name, Value: tensor.New(n), Grad: tensor.New(n)}
-}
-
-type sparseCache struct{ x *tensor.Tensor }
-
-// Forward computes y = SpMM(Wᵀ-form) against x: (n,in)·(in,out).
+// Forward computes y = x·Wᵀ + b on the sparse kernels (no arena — the
+// baseline is exercised standalone, outside the trainer's step lifecycle).
 func (l *SparseLinear) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
-	if x.Rank() != 2 || x.Dim(1) != l.in {
-		panic(fmt.Sprintf("baselines: SparseLinear(%d,%d) got %v", l.in, l.out, x.Shape()))
-	}
-	// y(n,out) = x(n,in) · Wt(in,out): compute via SpMM on Wt's rows is a
-	// (in,out)-sparse × dense product; equivalently yᵀ = W(out,in)·xᵀ.
-	// We use the transpose trick to keep a row-major SpMM.
-	yT := l.W.SpMM(tensor.Transpose(x)) // (out, n)
-	y := tensor.Transpose(yT)           // (n, out)
-	tensor.AddBias(y, l.B.Value)
-	if !train {
-		return y, nil
-	}
-	return y, &sparseCache{x: x}
+	return l.SparseLinear.Forward(nil, x, train)
 }
 
 // Backward computes the weight gradient restricted to the sparsity pattern
-// with SDDMM (dW = dyᵀ·x sampled at W's non-zeros) and the input gradient
-// with the transposed SpMM — exactly the kernel pair Sputnik accelerates.
+// with SDDMM and the input gradient with the transposed SpMM — exactly the
+// kernel pair Sputnik accelerates.
 func (l *SparseLinear) Backward(cache any, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := cache.(*sparseCache)
-	// dW(out,in) sampled: rows=out uses A=dyᵀ rows -> dy columns. SDDMM
-	// computes (A·Bᵀ) at the pattern with A (out,k) = dyᵀ and B (in,k) = xᵀ,
-	// k = batch.
-	dyT := tensor.Transpose(gradOut) // (out, n)
-	xT := tensor.Transpose(c.x)      // (in, n)
-	dW := l.W.SDDMM(dyT, xT)
-	for i, v := range dW.Val {
-		l.GradVals[i] += v
-	}
-	tensor.Add(l.B.Grad, tensor.SumRows(gradOut))
-	// dx(n,in) = dy(n,out)·W(out,in): transpose trick again.
-	dxT := l.Wt.SpMM(tensor.Transpose(gradOut)) // Wt(in,out)·dyᵀ(out,n) = (in,n)
-	return tensor.Transpose(dxT)
+	return l.SparseLinear.Backward(nil, cache, gradOut)
 }
-
-// Params returns only the bias: the sparse values are managed by the layer
-// itself (they have no dense tensor representation by design).
-func (l *SparseLinear) Params() []*nn.Param { return []*nn.Param{l.B} }
 
 // ApplyGradients runs a plain SGD step on the sparse values and bias,
 // clearing the accumulators — enough machinery to demonstrate end-to-end
-// sparse training.
+// sparse training. The cached transpose needs no refresh here: it is
+// re-synced from the primary values at its next use.
 func (l *SparseLinear) ApplyGradients(lr float32) {
-	for i := range l.W.Val {
-		l.W.Val[i] -= lr * l.GradVals[i]
-		l.GradVals[i] = 0
+	w, g := l.Wv.Value.Data(), l.Wv.Grad.Data()
+	for i := range w {
+		w[i] -= lr * g[i]
+		g[i] = 0
 	}
-	// Keep the cached transpose coherent.
-	l.Wt = l.W.Transpose()
-	for i := range l.B.Value.Data() {
-		l.B.Value.Data()[i] -= lr * l.B.Grad.Data()[i]
-		l.B.Grad.Data()[i] = 0
+	b, gb := l.B.Value.Data(), l.B.Grad.Data()
+	for i := range b {
+		b[i] -= lr * gb[i]
+		gb[i] = 0
 	}
-}
-
-// DenseEquivalent materializes the dense (in, out) weight matrix for
-// verification against nn.Linear.
-func (l *SparseLinear) DenseEquivalent() *tensor.Tensor {
-	return tensor.Transpose(l.W.Dense())
 }
 
 // Bytes reports the storage of the sparse weights (values + metadata) —
 // what the Sputnik baseline saves relative to a dense fp32 weight.
-func (l *SparseLinear) Bytes() int64 { return l.W.Bytes() }
+func (l *SparseLinear) Bytes() int64 { return l.WeightBytes() }

@@ -64,7 +64,7 @@ func TestSparseBackwardMatchesMaskedDense(t *testing.T) {
 	sparseGradDense := tensor.New(7, 10) // (out, in)
 	for i := 0; i < 7; i++ {
 		for p := sl.W.RowPtr[i]; p < sl.W.RowPtr[i+1]; p++ {
-			sparseGradDense.Set(sl.GradVals[p], i, int(sl.W.ColIdx[p]))
+			sparseGradDense.Set(sl.GradVals()[p], i, int(sl.W.ColIdx[p]))
 		}
 	}
 	back := tensor.Transpose(sparseGradDense) // (in, out)
@@ -124,11 +124,17 @@ func TestSparseStorageSavings(t *testing.T) {
 	}
 }
 
-func TestParamsExposesOnlyBias(t *testing.T) {
-	_, sl, _ := buildPair(8, 8, 0.5, 11)
+func TestParamsExposesWeightVectorAndBias(t *testing.T) {
+	_, sl, ix := buildPair(8, 8, 0.5, 11)
 	ps := sl.Params()
-	if len(ps) != 1 || ps[0].Value.Len() != 8 {
+	if len(ps) != 2 || ps[0].Value.Len() != ix.NNZ() || ps[1].Value.Len() != 8 {
 		t.Errorf("Params = %v", ps)
+	}
+	// The weight vector must alias the CSR values: the optimizer writes
+	// through it and the kernels must see the update.
+	ps[0].Value.Data()[0] = 42
+	if sl.W.Val[0] != 42 {
+		t.Error("weight param does not alias the CSR values")
 	}
 }
 

@@ -311,6 +311,9 @@ func (ms *ModelState) Memory() MemoryBreakdown {
 			b.Index += st.ix.Bytes()
 			b.TempCopy += BytesTheta16 * stored
 		}
+		// Layer-owned structure (e.g. a SparseLinear's CSR patterns) rides
+		// with the parameter it indexes.
+		b.Index += st.p.MetaBytes
 	}
 	return b
 }

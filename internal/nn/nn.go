@@ -33,6 +33,10 @@ type Param struct {
 	// and standard GPT pruning recipes (e.g. Cerebras' 90%-sparse GPT-3 runs
 	// the paper cites) keep them dense.
 	NoPrune bool
+	// MetaBytes is layer-owned index/structure storage tied to this
+	// parameter that the memory ledger should account beyond Value/Grad —
+	// SparseLinear sets it to its CSR pattern bytes. Zero for dense layers.
+	MetaBytes int64
 }
 
 func newParam(name string, shape ...int) *Param {

@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/sparse-dl/samo/internal/parallel"
+	"github.com/sparse-dl/samo/internal/prune"
+	"github.com/sparse-dl/samo/internal/sparse"
+	"github.com/sparse-dl/samo/internal/tensor"
+)
+
+// SparseLinear is a fully connected layer whose pruned weight lives in CSR
+// and whose hot paths run real sparse kernels — the first-class sparse
+// execution path the paper's Figure 1 argues about. Only the surviving
+// weights exist anywhere: the forward pass is the transposed-CSR SpMM
+// y = x·Wᵀ against the (out, in) pattern, the input gradient is the same
+// kernel against a cached Transpose(), and the weight gradient is SDDMM
+// restricted to the pattern — gradient entries for pruned weights are never
+// materialized, so the whole model state downstream (capture, all-reduce,
+// optimizer) is sized fφ with no masking step.
+//
+// Because sparse kernels only win above a density-dependent threshold
+// (Hoefler et al. 2021), each product consults the sparse/dense crossover
+// (sparse.XoverDecide): low-sparsity layers fall back to a dense GEMM over
+// a lazily materialized masked-dense copy of the weight and never regress,
+// while the weight gradient stays SDDMM on either path (the dense-masked
+// weight-gradient would materialize exactly the pruned entries this layer
+// exists to avoid). The Exec field pins the choice per layer.
+//
+// The optimizer sees the weight as Wv — a rank-1 parameter of length NNZ
+// whose Value aliases W.Val — so core.ModelState drives it through its
+// ordinary dense-vector path: θ32/∇θ16/∇θ32/os all have length NNZ and the
+// fp16 down-cast writes straight into the CSR values the kernels read. The
+// cached transpose and the dense-masked copy are refreshed from W.Val at
+// use time (weights only change between step boundaries, never between a
+// microbatch's forward and backward).
+type SparseLinear struct {
+	// W is the primary pattern: (out, in) CSR — row j holds output neuron
+	// j's surviving input weights. Wv.Value aliases W.Val, so optimizer
+	// writes are immediately visible to the kernels.
+	W *sparse.CSR
+	// Wt caches Transpose(W) (in, out) for the input gradient; its values
+	// are refreshed from W.Val through wtPerm before each use.
+	Wt     *sparse.CSR
+	wtPerm []int32
+
+	// Wv is the weight parameter in pattern order (rank-1, length NNZ);
+	// B is the dense bias.
+	Wv, B *Param
+
+	// Exec pins this layer's execution path (benchmarks, the pure-sparse
+	// baseline); ExecAuto consults the crossover per product shape.
+	Exec ExecMode
+
+	in, out int
+
+	// Masked-dense fallback state, materialized only while the crossover
+	// probes or has chosen the dense path and dropped again after
+	// denseDropAfter consecutive sparse-path products. denseFresh marks the
+	// copy as synced by THIS microbatch's Forward, letting its Backward
+	// skip the O(out·in) re-materialization (weights cannot change between
+	// a microbatch's forward and backward — only at step boundaries).
+	denseW     *tensor.Tensor // (out, in), zeros at pruned positions
+	denseIx    *sparse.Index  // scatter map: pattern order -> (out, in) view
+	denseIdle  int
+	denseFresh bool
+}
+
+// ExecMode selects a SparseLinear's execution path.
+type ExecMode uint8
+
+const (
+	// ExecAuto probes sparse vs dense per (shape, density) bucket and
+	// freezes the winner (the default).
+	ExecAuto ExecMode = iota
+	// ExecSparse always runs the CSR kernels.
+	ExecSparse
+	// ExecDense always runs the dense GEMM over the masked-dense weight.
+	ExecDense
+)
+
+// denseDropAfter is how many consecutive sparse-path products release the
+// masked-dense copy: once the relevant buckets freeze sparse, the dense
+// tensor is dead weight exactly where SAMO wants memory back.
+const denseDropAfter = 16
+
+// NewSparseLinear materializes the layer from a dense (in, out) weight and
+// a pruning index over its linearized view. Only indexed entries are read;
+// the bias starts at zero (copy one in for layer surgery).
+func NewSparseLinear(name string, w *tensor.Tensor, ix *sparse.Index) *SparseLinear {
+	if w.Rank() != 2 {
+		panic("nn: NewSparseLinear needs a rank-2 weight")
+	}
+	return NewSparseLinearCSR(name, sparse.CSRFromDenseIndexed(ix, w.Data(), w.Dim(0), w.Dim(1)))
+}
+
+// NewSparseLinearCSR builds the layer from an already materialized (in, out)
+// CSR weight — the output of prune.Result.MaterializeCSR. The matrix is
+// transposed once into the (out, in) primary the kernels want; the caller's
+// CSR is not retained.
+func NewSparseLinearCSR(name string, w *sparse.CSR) *SparseLinear {
+	in, out := w.Rows, w.Cols
+	W := w.Transpose()
+	Wt, perm := W.TransposePerm()
+	l := &SparseLinear{W: W, Wt: Wt, wtPerm: perm, in: in, out: out}
+	l.Wv = &Param{Name: name + ".weight",
+		Value: tensor.FromSlice(W.Val, len(W.Val)),
+		Grad:  tensor.New(len(W.Val))}
+	// The CSR structure (two patterns plus the refresh permutation) is
+	// model state the dense layer does not carry; expose it to the memory
+	// ledger.
+	l.Wv.MetaBytes = 4 * int64(len(W.RowPtr)+len(W.ColIdx)+
+		len(Wt.RowPtr)+len(Wt.ColIdx)+len(perm))
+	l.B = newParam(name+".bias", out)
+	return l
+}
+
+// Sparsify returns a model in which every pruned Linear layer is replaced
+// by a SparseLinear built from its weights and the pruning result; all
+// other layers (and any unpruned Linear) are shared with the original
+// model, parameters included — train one model or the other, not both.
+// Biases of converted layers are copied, so the returned model trains
+// independently of the original on the paper's FC workloads.
+func Sparsify(m *Model, pr *prune.Result) *Model {
+	out := &Model{Name: m.Name + "-sparse"}
+	for _, l := range m.Layers {
+		lin, ok := l.(*Linear)
+		if !ok {
+			out.Layers = append(out.Layers, l)
+			continue
+		}
+		w := pr.MaterializeCSR(lin.W.Name, lin.W.Value.Data(),
+			lin.W.Value.Dim(0), lin.W.Value.Dim(1))
+		if w == nil {
+			out.Layers = append(out.Layers, l) // not pruned: keep dense
+			continue
+		}
+		sl := NewSparseLinearCSR(strings.TrimSuffix(lin.W.Name, ".weight"), w)
+		copy(sl.B.Value.Data(), lin.B.Value.Data())
+		out.Layers = append(out.Layers, sl)
+	}
+	return out
+}
+
+type sparseLinearCache struct{ x *tensor.Tensor }
+
+var sparseLinearCaches parallel.Pool[sparseLinearCache]
+
+// decide resolves the execution path for one product of this layer.
+func (l *SparseLinear) decide(op sparse.XoverOp, m, k, n int) (*sparse.XoverEntry, sparse.XoverChoice, bool) {
+	switch l.Exec {
+	case ExecSparse:
+		return nil, sparse.XoverSparse, false
+	case ExecDense:
+		return nil, sparse.XoverDense, false
+	}
+	return sparse.XoverDecide(op, m, k, n, l.W.NNZ(), l.in*l.out)
+}
+
+// noteUse tracks dense-copy liveness: sparse-path products age it out.
+func (l *SparseLinear) noteUse(c sparse.XoverChoice) {
+	if c == sparse.XoverDense {
+		l.denseIdle = 0
+		return
+	}
+	if l.denseW != nil {
+		if l.denseIdle++; l.denseIdle >= denseDropAfter {
+			l.denseW, l.denseIx, l.denseFresh = nil, nil, false
+		}
+	}
+}
+
+// syncDense (re)materializes the masked-dense (out, in) weight from the
+// current CSR values: zero-fill plus pattern scatter, both parallel and
+// allocation-free after the first call. fresh=true marks the copy valid
+// for the rest of this microbatch (consumed by Backward).
+func (l *SparseLinear) syncDense(fresh bool) {
+	if l.denseW == nil {
+		l.denseW = tensor.New(l.out, l.in)
+		l.denseIx = sparse.IndexFromSlice(l.W.LinearIDs(), l.out*l.in)
+	}
+	l.denseIx.Expand(l.denseW.Data(), l.W.Val)
+	l.denseFresh = fresh
+}
+
+// syncWt refreshes the cached transpose's values from the primary pattern.
+// Per-backward on purpose: the layer cannot observe optimizer steps, and
+// the O(nnz) gather is ≤1/batch of the O(batch·nnz) product it precedes.
+func (l *SparseLinear) syncWt() {
+	sparse.Gather(l.Wt.Val, l.W.Val, l.wtPerm)
+}
+
+// Forward computes y = x·Wᵀ + b for x (n, in) — transposed-CSR SpMM on the
+// sparse path, a dense A·Bᵀ GEMM over the masked-dense weight otherwise.
+func (l *SparseLinear) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if x.Rank() != 2 || x.Dim(1) != l.in {
+		panic(fmt.Sprintf("nn: SparseLinear(%d,%d) got input %v", l.in, l.out, x.Shape()))
+	}
+	n := x.Dim(0)
+	y := a.Get(n, l.out)
+	// A fresh flag may only ever be set by THIS microbatch's forward: an
+	// optimizer step may have run since the flag was last set (e.g. when a
+	// probing backward took the sparse path and never consumed it), so the
+	// copy it describes can hold pre-step weights.
+	l.denseFresh = false
+	e, ch, probe := l.decide(sparse.XoverOpForward, n, l.in, l.out)
+	if probe {
+		t0 := time.Now()
+		l.runForward(ch, y, x, train)
+		e.Record(ch, time.Since(t0), n*l.in*l.out)
+	} else {
+		l.runForward(ch, y, x, train)
+	}
+	l.noteUse(ch)
+	tensor.AddBias(y, l.B.Value)
+	if !train {
+		return y, nil
+	}
+	c := sparseLinearCaches.Get()
+	c.x = x
+	return y, c
+}
+
+func (l *SparseLinear) runForward(ch sparse.XoverChoice, y, x *tensor.Tensor, train bool) {
+	if ch == sparse.XoverDense {
+		// In training the copy stays valid through this microbatch's
+		// backward (an optimizer step cannot intervene).
+		l.syncDense(train)
+		tensor.MatMulTInto(y, x, l.denseW, false)
+		return
+	}
+	l.W.SpMMTInto(y, x)
+}
+
+// Backward accumulates dW on the pattern via SDDMM (pruned entries are
+// never computed), db via a row sum, and returns dx = dy·W — the
+// transposed-CSR SpMM against the cached transpose on the sparse path, a
+// dense GEMM otherwise.
+func (l *SparseLinear) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*sparseLinearCache)
+	nb := gradOut.Dim(0)
+	// Weight gradient, always sampled at the pattern: SDDMM row-dots need
+	// both operands feature-major, so transpose into arena scratch (two
+	// parallel copies, O(nb·(in+out)) against the products' O(nnz·nb)).
+	dyT := a.Get(l.out, nb)
+	tensor.TransposeInto(dyT, gradOut)
+	xT := a.Get(l.in, nb)
+	tensor.TransposeInto(xT, c.x)
+	l.W.SDDMMInto(l.Wv.Grad.Data(), dyT, xT, true)
+	tensor.SumRowsInto(l.B.Grad, gradOut, true)
+
+	dx := a.Get(nb, l.in)
+	e, ch, probe := l.decide(sparse.XoverOpBackward, nb, l.out, l.in)
+	if probe {
+		t0 := time.Now()
+		l.runBackward(ch, dx, gradOut)
+		e.Record(ch, time.Since(t0), nb*l.out*l.in)
+	} else {
+		l.runBackward(ch, dx, gradOut)
+	}
+	l.noteUse(ch)
+	c.x = nil
+	sparseLinearCaches.Put(c)
+	return dx
+}
+
+func (l *SparseLinear) runBackward(ch sparse.XoverChoice, dx, dy *tensor.Tensor) {
+	if ch == sparse.XoverDense {
+		// Skip the O(out·in) re-materialization when this microbatch's
+		// forward already synced the copy.
+		if l.denseW == nil || !l.denseFresh {
+			l.syncDense(false)
+		}
+		l.denseFresh = false
+		tensor.MatMulInto(dx, dy, l.denseW, false)
+		return
+	}
+	l.syncWt()
+	l.Wt.SpMMTInto(dx, dy)
+}
+
+// Params returns the compressed weight vector and the bias.
+func (l *SparseLinear) Params() []*Param { return []*Param{l.Wv, l.B} }
+
+// GradVals exposes the pattern-aligned weight gradient (W's CSR order).
+func (l *SparseLinear) GradVals() []float32 { return l.Wv.Grad.Data() }
+
+// NNZ returns the surviving weight count.
+func (l *SparseLinear) NNZ() int { return l.W.NNZ() }
+
+// WeightBytes reports the sparse weight storage: values plus both patterns
+// and the refresh permutation (what replaces the dense 4·in·out weight).
+func (l *SparseLinear) WeightBytes() int64 {
+	return int64(len(l.W.Val))*4 + l.Wv.MetaBytes
+}
+
+// DenseEquivalent materializes the (in, out) dense weight for verification
+// against nn.Linear.
+func (l *SparseLinear) DenseEquivalent() *tensor.Tensor {
+	return tensor.Transpose(l.W.Dense())
+}

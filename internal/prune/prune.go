@@ -64,6 +64,24 @@ func (r *Result) Index(name string) *sparse.Index {
 	return r.Indices[name]
 }
 
+// MaterializeCSR turns one layer's pruning index into executable sparse
+// state: a CSR over the (rows, cols) matrix view of the layer, holding the
+// surviving entries of values (the layer's current dense parameters, in the
+// same 1-D view the index addresses). This is the bridge from "indices that
+// compress storage" to "a matrix sparse kernels can run on" — nil if the
+// layer is not pruned.
+func (r *Result) MaterializeCSR(name string, values []float32, rows, cols int) *sparse.CSR {
+	ix := r.Index(name)
+	if ix == nil {
+		return nil
+	}
+	if len(values) != ix.FullLen() {
+		panic(fmt.Sprintf("prune: MaterializeCSR %s: %d values for a %d-element layer",
+			name, len(values), ix.FullLen()))
+	}
+	return sparse.CSRFromDenseIndexed(ix, values, rows, cols)
+}
+
 // MagnitudeGlobal prunes the globally smallest |w| until the target sparsity
 // is reached, the classic lottery-ticket criterion (Frankle & Carbin). Exact
 // ties are broken by layer order then index, keeping results deterministic.

@@ -53,3 +53,46 @@ func TestCompressExpandZeroAlloc(t *testing.T) {
 		t.Fatalf("ExpandHalf allocates %.1f per call, want 0", a)
 	}
 }
+
+// TestSparseKernelsZeroAlloc pins the sparse training kernels — SpMMInto,
+// the transposed SpMMTInto, SDDMMInto and the cached-transpose Gather
+// refresh — at zero steady-state allocations: since PR 5 they sit on the
+// pruned FC layers' per-microbatch hot path, under the same contract as the
+// dense GEMM family (pooled jobs, caller buffers).
+func TestSparseKernelsZeroAlloc(t *testing.T) {
+	t.Setenv("SAMO_GEMM_TUNE", "off") // hermetic: see TestCompressExpandZeroAlloc
+
+	w, _ := randMaskedCSR(128, 96, 0.1, 5)
+	wt, perm := w.TransposePerm()
+	x := randDense(64, 96, 6)   // forward operand (batch, in)
+	dy := randDense(64, 128, 7) // gradient operand (batch, out)
+	xT := tensor.Transpose(x)   // (in, batch) for SpMM/SDDMM
+	dyT := tensor.Transpose(dy) // (out, batch)
+	y := tensor.New(64, 128)    // SpMMT output
+	dx := tensor.New(64, 96)    // transposed SpMMT output
+	yT := tensor.New(128, 64)   // SpMM output
+	grad := make([]float32, w.NNZ())
+
+	// Warm the job free lists and the worker pool.
+	w.SpMMTInto(y, x)
+	wt.SpMMTInto(dx, dy)
+	w.SpMMInto(yT, xT)
+	w.SDDMMInto(grad, dyT, xT, true)
+	Gather(wt.Val, w.Val, perm)
+
+	if a := testing.AllocsPerRun(50, func() { w.SpMMTInto(y, x) }); a != 0 {
+		t.Errorf("SpMMTInto allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { wt.SpMMTInto(dx, dy) }); a != 0 {
+		t.Errorf("transposed SpMMTInto allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { w.SpMMInto(yT, xT) }); a != 0 {
+		t.Errorf("SpMMInto allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { w.SDDMMInto(grad, dyT, xT, true) }); a != 0 {
+		t.Errorf("SDDMMInto allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { Gather(wt.Val, w.Val, perm) }); a != 0 {
+		t.Errorf("Gather allocates %.1f per call, want 0", a)
+	}
+}

@@ -60,6 +60,17 @@ func CSRFromIndex(ix *Index, values []float32, rows, cols int) *CSR {
 	return m
 }
 
+// CSRFromDenseIndexed builds a CSR over the (rows, cols) view of a dense
+// 1-D layer holding exactly the indexed entries — the canonical bridge from
+// a pruning index to executable sparse state (stored zeros at indexed
+// positions are kept, unlike CSRFromDense: the pattern is the index, not
+// the values). Shared by prune.Result.MaterializeCSR and nn.SparseLinear.
+func CSRFromDenseIndexed(ix *Index, dense []float32, rows, cols int) *CSR {
+	vals := make([]float32, ix.NNZ())
+	ix.Compress(vals, dense)
+	return CSRFromIndex(ix, vals, rows, cols)
+}
+
 // NNZ returns the number of stored non-zeros.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
@@ -100,12 +111,14 @@ func csrRowGrain(rows, work int) int {
 }
 
 // csrJob carries one sparse kernel's arguments to the worker pool; pooled
-// so the sparse-baseline sweeps dispatch without allocating closures.
+// so the sparse training and baseline paths dispatch without allocating
+// closures.
 type csrJob struct {
-	m    *CSR
-	a, b []float32
-	out  []float32
-	n, k int
+	m          *CSR
+	a, b       []float32
+	out        []float32
+	n, k       int
+	accumulate bool
 }
 
 var csrJobFree parallel.Pool[csrJob]
@@ -138,7 +151,7 @@ func spmmChunk(ctx any, lo, hi int) {
 func sddmmChunk(ctx any, lo, hi int) {
 	g := ctx.(*csrJob)
 	m, ad, bd, k := g.m, g.a, g.b, g.k
-	out := g.out
+	out, acc := g.out, g.accumulate
 	for i := lo; i < hi; i++ {
 		ai := ad[i*k : (i+1)*k]
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
@@ -147,7 +160,32 @@ func sddmmChunk(ctx any, lo, hi int) {
 			for x := range ai {
 				s += ai[x] * bj[x]
 			}
-			out[p] = s
+			if acc {
+				out[p] += s
+			} else {
+				out[p] = s
+			}
+		}
+	}
+}
+
+// spmmtChunk computes C rows [lo,hi) of C = B·Sᵀ: each C element is a
+// gather-dot of one dense B row against one sparse S row, so every output
+// element has a single owner and a fixed accumulation order (the CSR's p
+// order) — the kernel is bitwise-identical at every worker count.
+func spmmtChunk(ctx any, lo, hi int) {
+	g := ctx.(*csrJob)
+	m, bd, cd := g.m, g.b, g.out
+	k, rows := g.k, g.m.Rows
+	for i := lo; i < hi; i++ {
+		bi := bd[i*k : (i+1)*k]
+		ci := cd[i*rows : (i+1)*rows]
+		for j := 0; j < rows; j++ {
+			var s float32
+			for p := m.RowPtr[j]; p < m.RowPtr[j+1]; p++ {
+				s += m.Val[p] * bi[m.ColIdx[p]]
+			}
+			ci[j] = s
 		}
 	}
 }
@@ -183,6 +221,41 @@ func (m *CSR) SpMMInto(c, b *tensor.Tensor) {
 	putCSRJob(j)
 }
 
+// SpMMT computes C = B·Sᵀ for dense B (n, k) and sparse S (rows, k) — the
+// transposed-CSR SpMM. It is the product a sparse FC layer's forward and
+// input-gradient passes both take: with the weight stored (out, in), the
+// forward is x·Wᵀ against W itself and the input gradient is dy·(Wᵀ)ᵀ
+// against the cached Transpose(). Unlike SpMM it needs no transposed dense
+// operands: each output element gathers one B row against one S row.
+func (m *CSR) SpMMT(b *tensor.Tensor) *tensor.Tensor {
+	m.spmmtCheck(b)
+	c := tensor.New(b.Dim(0), m.Rows)
+	m.SpMMTInto(c, b)
+	return c
+}
+
+func (m *CSR) spmmtCheck(b *tensor.Tensor) {
+	if b.Rank() != 2 || b.Dim(1) != m.Cols {
+		panic(fmt.Sprintf("sparse: SpMMT dims %vx(%d,%d)ᵀ", b.Shape(), m.Rows, m.Cols))
+	}
+}
+
+// SpMMTInto computes C = B·Sᵀ into a caller-provided (n, rows) tensor
+// without allocating. Parallel over C rows (the batch dimension): every
+// output element is a gather-dot with a single owner and the CSR's fixed p
+// order, so the result is bitwise-identical at every worker count.
+func (m *CSR) SpMMTInto(c, b *tensor.Tensor) {
+	m.spmmtCheck(b)
+	n := b.Dim(0)
+	if c.Len() != n*m.Rows {
+		panic(fmt.Sprintf("sparse: SpMMTInto output has %d elements, want %d", c.Len(), n*m.Rows))
+	}
+	j := getCSRJob()
+	j.m, j.b, j.out, j.k = m, b.Data(), c.Data(), m.Cols
+	parallel.Run(n, csrRowGrain(n, n*m.NNZ()), j, spmmtChunk)
+	putCSRJob(j)
+}
+
 // SDDMM computes the sampled dense-dense matrix multiplication
 // out[i,j] = (A·Bᵀ)[i,j] for (i,j) in the sparsity pattern of m, with A
 // (rows,k) and B (cols,k). This is the kernel the backward pass of a sparse
@@ -193,7 +266,7 @@ func (m *CSR) SDDMM(a, b *tensor.Tensor) *CSR {
 		RowPtr: append([]int32(nil), m.RowPtr...),
 		ColIdx: append([]int32(nil), m.ColIdx...),
 		Val:    make([]float32, len(m.Val))}
-	m.SDDMMInto(out.Val, a, b)
+	m.SDDMMInto(out.Val, a, b, false)
 	return out
 }
 
@@ -205,9 +278,11 @@ func (m *CSR) sddmmCheck(a, b *tensor.Tensor) {
 
 // SDDMMInto computes the sampled product into a caller-provided value
 // slice aligned with m's pattern (len = NNZ), avoiding the fresh CSR and
-// value allocations of SDDMM. Parallel over rows: each row's value range
-// [RowPtr[i], RowPtr[i+1]) is disjoint, so workers write disjoint slices.
-func (m *CSR) SDDMMInto(dstVal []float32, a, b *tensor.Tensor) {
+// value allocations of SDDMM; with accumulate it adds into dstVal (the
+// gradient-accumulation form a pipelined backward pass needs). Parallel
+// over rows: each row's value range [RowPtr[i], RowPtr[i+1]) is disjoint,
+// so workers write disjoint slices.
+func (m *CSR) SDDMMInto(dstVal []float32, a, b *tensor.Tensor, accumulate bool) {
 	m.sddmmCheck(a, b)
 	if len(dstVal) != m.NNZ() {
 		panic(fmt.Sprintf("sparse: SDDMMInto values length %d, want %d", len(dstVal), m.NNZ()))
@@ -215,16 +290,34 @@ func (m *CSR) SDDMMInto(dstVal []float32, a, b *tensor.Tensor) {
 	k := a.Dim(1)
 	j := getCSRJob()
 	j.m, j.a, j.b, j.out, j.k = m, a.Data(), b.Data(), dstVal, k
+	j.accumulate = accumulate
 	parallel.Run(m.Rows, csrRowGrain(m.Rows, m.NNZ()*k), j, sddmmChunk)
 	putCSRJob(j)
 }
 
 // Transpose returns the CSC-equivalent CSR of the transposed matrix.
 func (m *CSR) Transpose() *CSR {
+	t, _ := m.transpose(false)
+	return t
+}
+
+// TransposePerm returns the transpose plus the value permutation relating
+// the two patterns: t.Val[p] == m.Val[perm[p]] at build time. A layer that
+// caches the transpose refreshes its values after each optimizer step with
+// one Gather through perm instead of rebuilding the structure.
+func (m *CSR) TransposePerm() (t *CSR, perm []int32) {
+	return m.transpose(true)
+}
+
+func (m *CSR) transpose(withPerm bool) (*CSR, []int32) {
 	t := &CSR{Rows: m.Cols, Cols: m.Rows,
 		RowPtr: make([]int32, m.Cols+1),
 		ColIdx: make([]int32, len(m.Val)),
 		Val:    make([]float32, len(m.Val))}
+	var perm []int32
+	if withPerm {
+		perm = make([]int32, len(m.Val))
+	}
 	for _, c := range m.ColIdx {
 		t.RowPtr[c+1]++
 	}
@@ -237,8 +330,24 @@ func (m *CSR) Transpose() *CSR {
 			c := m.ColIdx[p]
 			t.ColIdx[next[c]] = int32(i)
 			t.Val[next[c]] = m.Val[p]
+			if withPerm {
+				perm[next[c]] = p
+			}
 			next[c]++
 		}
 	}
-	return t
+	return t, perm
+}
+
+// LinearIDs returns the strictly increasing linearized (row-major) element
+// ids of the stored pattern — the scatter map a dense-masked materialization
+// of the matrix uses (via IndexFromSlice + Expand).
+func (m *CSR) LinearIDs() []int32 {
+	ids := make([]int32, 0, len(m.Val))
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			ids = append(ids, int32(i)*int32(m.Cols)+m.ColIdx[p])
+		}
+	}
+	return ids
 }

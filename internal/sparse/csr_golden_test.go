@@ -84,14 +84,88 @@ func TestSDDMMGolden(t *testing.T) {
 					}
 				}
 				vals := make([]float32, m.NNZ())
-				m.SDDMMInto(vals, a, b)
+				m.SDDMMInto(vals, a, b, false)
 				for p, v := range out.Val {
 					if vals[p] != v {
 						t.Fatalf("SDDMMInto diverges from SDDMM at %d: %g vs %g", p, vals[p], v)
 					}
 				}
+				// The accumulating form adds the same product on top.
+				m.SDDMMInto(vals, a, b, true)
+				for p, v := range out.Val {
+					if vals[p] != 2*v {
+						t.Fatalf("SDDMMInto(acc) at %d: %g want %g", p, vals[p], 2*v)
+					}
+				}
 			})
 		}
+	}
+}
+
+// TestSpMMTGolden pins the transposed-CSR SpMM — C = B·Sᵀ, the product the
+// sparse FC forward and input-gradient passes take — against the dense
+// reference tensor.MatMulT(B, S_dense), over shapes crossing the row-grain
+// chunking and degenerate n=1.
+func TestSpMMTGolden(t *testing.T) {
+	for _, s := range [][3]int{{7, 9, 5}, {64, 48, 32}, {130, 65, 1}, {33, 129, 17}} {
+		rows, cols, n := s[0], s[1], s[2]
+		for _, density := range []float64{0.05, 0.3, 0.9} {
+			t.Run(fmt.Sprintf("%dx%dx%d/d%.2f", rows, cols, n, density), func(t *testing.T) {
+				m, dense := randMaskedCSR(rows, cols, density, uint64(rows*31+n))
+				b := randDense(n, cols, uint64(cols+1))
+				want := tensor.MatMulT(b, dense) // (n, rows)
+				got := m.SpMMT(b)
+				if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+					t.Fatalf("SpMMT differs from dense by %g", d)
+				}
+				// Into with a dirty buffer must fully overwrite it.
+				into := tensor.New(n, rows)
+				into.Fill(42)
+				m.SpMMTInto(into, b)
+				if d := tensor.MaxAbsDiff(into, want); d > 1e-4 {
+					t.Fatalf("SpMMTInto differs from dense by %g", d)
+				}
+			})
+		}
+	}
+}
+
+// TestTransposePermAndLinearIDs pins the structure helpers the cached-
+// transpose refresh and the dense-masked materialization rely on:
+// TransposePerm's permutation must reproduce the transpose's values from
+// the primary's (so a value-only Gather refresh is exact), and LinearIDs
+// must be the strictly increasing row-major ids of the pattern (so it is a
+// valid IndexFromSlice input whose Expand rebuilds Dense()).
+func TestTransposePermAndLinearIDs(t *testing.T) {
+	m, _ := randMaskedCSR(23, 17, 0.3, 99)
+	wt, perm := m.TransposePerm()
+	ref := m.Transpose()
+	for p := range ref.Val {
+		if wt.ColIdx[p] != ref.ColIdx[p] || wt.Val[p] != ref.Val[p] {
+			t.Fatalf("TransposePerm structure diverges from Transpose at %d", p)
+		}
+		if got := m.Val[perm[p]]; got != ref.Val[p] {
+			t.Fatalf("perm[%d]: primary value %g, want %g", p, got, ref.Val[p])
+		}
+	}
+	// A refresh after mutating the primary values must track exactly.
+	for i := range m.Val {
+		m.Val[i] *= 2
+	}
+	Gather(wt.Val, m.Val, perm)
+	ref2 := m.Transpose()
+	for p := range ref2.Val {
+		if wt.Val[p] != ref2.Val[p] {
+			t.Fatalf("refreshed transpose value %d: %g want %g", p, wt.Val[p], ref2.Val[p])
+		}
+	}
+
+	ids := m.LinearIDs()
+	ix := IndexFromSlice(ids, m.Rows*m.Cols) // panics if not sorted unique
+	back := tensor.New(m.Rows, m.Cols)
+	ix.Expand(back.Data(), m.Val)
+	if d := tensor.MaxAbsDiff(back, m.Dense()); d != 0 {
+		t.Fatalf("LinearIDs scatter does not rebuild Dense(): diff %g", d)
 	}
 }
 

@@ -133,6 +133,20 @@ func (ix *Index) Expand(dense, compressed []float32) {
 	putIxJob(j)
 }
 
+// Gather copies dst[i] = src[ids[i]] on the worker pool — the free-standing
+// permutation gather behind cached-transpose value refreshes (ids need not
+// be sorted or unique, unlike an Index). Parallel over disjoint dst ranges
+// and allocation-free.
+func Gather(dst, src []float32, ids []int32) {
+	if len(dst) != len(ids) {
+		panic(fmt.Sprintf("sparse: Gather dst length %d, want %d", len(dst), len(ids)))
+	}
+	j := getIxJob()
+	j.ids, j.dst, j.dense = ids, dst, src
+	parallel.Run(len(ids), ixGrain, j, compressChunk)
+	putIxJob(j)
+}
+
 // ixHalfJob is the fp16 twin of ixJob: the half-precision gather/scatter
 // sits on the same per-layer, per-microbatch gradient path as the float32
 // one (∇θ16 is the tensor SAMO compresses most often), so it runs on the

@@ -406,24 +406,31 @@ func gemmPackStripNTChunk(ctx any, lo, hi int) {
 }
 
 // gemmPackATChunk transpose-packs rows [lo,hi) (relative to i0) of the
-// current (mc,kc) block of the effective Aᵀ for gemmTN: packed row i' is
-// A[k0..k0+kcur)[i0+i'] gathered down A's column, i.e.
-// pa[i'·kcur + kk] = a[(k0+kk)·m + i0+i']. The kk gather is blocked so the
-// ~kcur source cache lines of a block stay resident while consecutive
-// destination rows re-walk them. Chunks write disjoint packed rows.
+// current (mc,kc) block of the effective Aᵀ for gemmTN:
+// pa[i'·kcur + kk] = a[(k0+kk)·m + i0+i']. The pack walks 32×32 tiles
+// (like TransposeInto): within a tile the inner loop reads a source row of
+// A contiguously and the 32 destination rows it scatters into stay
+// cache-resident, so each source cache line is loaded once — the previous
+// per-element gather walked down A's columns and paid a cache line per
+// element, a constant that dominated the pack at kc=512 on small-n
+// products. A pure relocation either way: the packed bytes, and therefore
+// the product, are bitwise-unchanged (pinned by TestGemmPackATTiledGolden).
+// Chunks write disjoint packed rows.
 func gemmPackATChunk(ctx any, lo, hi int) {
 	g := ctx.(*gemmV2Job)
 	a, pa := g.a, g.pa
 	m, k0, kcur, i0 := g.m, g.k0, g.kcur, g.i0
-	const kb = 128
-	for kk0 := 0; kk0 < kcur; kk0 += kb {
-		kk1 := min(kk0+kb, kcur)
-		for ii := lo; ii < hi; ii++ {
-			row := pa[ii*kcur : ii*kcur+kcur]
-			col := (k0+kk0)*m + i0 + ii
+	const tile = 32
+	for ii0 := lo; ii0 < hi; ii0 += tile {
+		ii1 := min(ii0+tile, hi)
+		for kk0 := 0; kk0 < kcur; kk0 += tile {
+			kk1 := min(kk0+tile, kcur)
 			for kk := kk0; kk < kk1; kk++ {
-				row[kk] = a[col]
-				col += m
+				src := a[(k0+kk)*m+i0+ii0 : (k0+kk)*m+i0+ii1]
+				dst := pa[ii0*kcur+kk:]
+				for j, v := range src {
+					dst[j*kcur] = v
+				}
 			}
 		}
 	}

@@ -131,6 +131,54 @@ func TestTransposedGEMMBitwiseDeterminism(t *testing.T) {
 	}
 }
 
+// TestGemmPackATTiledGolden pins the tiled (32×32-block) Aᵀ transpose-pack
+// bitwise to the per-element gather it replaced: the pack is pure data
+// relocation, so every packed element must match
+// a[(k0+kk)·m + i0+ii] exactly — including ragged tiles, offset (i0, k0)
+// blocks and the full pooled-buffer block — and chunked invocation (how
+// parallel.Run drives it) must produce the same bytes as one chunk.
+func TestGemmPackATTiledGolden(t *testing.T) {
+	rng := NewRNG(61)
+	for _, s := range []struct{ m, k, i0, mcur, k0, kcur int }{
+		{64, 64, 0, 64, 0, 64},
+		{100, 300, 0, 100, 0, 256},
+		{300, 520, 128, 172, 256, 264}, // ragged tiles, offset block
+		{37, 45, 5, 31, 7, 33},
+		{256, 512, 0, 256, 0, 512}, // exactly fills the pooled buffer
+	} {
+		a := New(s.k, s.m) // gemmTN's A operand is (k, m)
+		fillSeq(a, rng)
+		got := make([]float32, s.mcur*s.kcur)
+		j := gemmV2JobFree.Get()
+		j.a, j.m = a.data, s.m
+		j.i0, j.k0, j.kcur = s.i0, s.k0, s.kcur
+		j.pa = got
+		gemmPackATChunk(j, 0, s.mcur)
+		for ii := 0; ii < s.mcur; ii++ {
+			for kk := 0; kk < s.kcur; kk++ {
+				want := a.data[(s.k0+kk)*s.m+s.i0+ii]
+				if got[ii*s.kcur+kk] != want {
+					t.Fatalf("%+v: packed (%d,%d) = %g, gather reference %g",
+						s, ii, kk, got[ii*s.kcur+kk], want)
+				}
+			}
+		}
+		// Chunked invocation with an uneven split must relocate identically.
+		chunked := make([]float32, s.mcur*s.kcur)
+		j.pa = chunked
+		cut := s.mcur/3 + 1
+		gemmPackATChunk(j, 0, cut)
+		gemmPackATChunk(j, cut, s.mcur)
+		for i := range got {
+			if chunked[i] != got[i] {
+				t.Fatalf("%+v: chunked pack differs at %d", s, i)
+			}
+		}
+		j.a, j.pa = nil, nil
+		gemmV2JobFree.Put(j)
+	}
+}
+
 // TestTransposedTunePersistence round-trips a transposed-variant decision
 // through the JSON table: the variant key must survive save/load, and a
 // loaded bucket must skip probing with the same choice.

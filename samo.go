@@ -61,6 +61,33 @@
 // change training results (pinned by the col2im determinism goldens and
 // the FuzzCol2ImAdjoint fuzz target).
 //
+// # Sparse execution
+//
+// Pruned fully connected layers can exploit their sparsity during
+// training, not just in storage: Sparsify replaces pruned Linear layers
+// with first-class sparse layers (nn.SparseLinear) whose weights live in
+// CSR. The forward pass is a transposed-CSR SpMM (y = x·Wᵀ against the
+// (out,in) pattern), the input gradient is the same kernel against a
+// cached transpose whose values refresh through a precomputed permutation,
+// and the weight gradient is SDDMM sampled at the surviving pattern —
+// gradient entries for pruned weights are never materialized, so the whole
+// model state (capture, all-reduce, optimizer, and under sparse execution
+// θ16 itself) is sized fφ. Every sparse kernel gives each output element a
+// single owning worker and a fixed accumulation order, so results are
+// bitwise-identical at every worker count, matching the GEMM/Col2Im
+// contract (pinned by determinism goldens and the FuzzSpMMInto/
+// FuzzSpMMTInto/FuzzSDDMMInto targets).
+//
+// Because sparse kernels only win above a density-dependent threshold, a
+// density-aware crossover — an autotuner keyed by (shape bucket, density
+// band) — times sparse against dense-masked execution on the first calls
+// of each bucket and freezes the winner, so low-sparsity layers fall back
+// to the dense GEMM and never regress; a frozen bucket never re-probes
+// (the two paths differ in summation order, so flipping mid-training would
+// perturb results). SAMO_SPARSE_XOVER=sparse|dense pins the path
+// process-wide; scripts/bench.sh gates the ≥90%-sparsity points of the
+// BenchmarkSpMM matrix at MIN_SPMM_SPEEDUP.
+//
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
 // and GPT (embedding, attention, layer norm, GELU MLP) — as are the fp16
@@ -89,6 +116,7 @@ import (
 	"github.com/sparse-dl/samo/internal/optim"
 	"github.com/sparse-dl/samo/internal/prune"
 	"github.com/sparse-dl/samo/internal/simulate"
+	"github.com/sparse-dl/samo/internal/sparse"
 	"github.com/sparse-dl/samo/internal/tensor"
 )
 
@@ -220,6 +248,23 @@ func PruneRandom(m *Model, sparsity float64, seed uint64) *PruneResult {
 	return prune.Random(pruneLayers(m), sparsity, seed)
 }
 
+// Sparsify replaces every pruned Linear layer of a model with a
+// first-class sparse-execution layer (nn.SparseLinear): CSR weights, SpMM
+// forward, SDDMM weight gradient restricted to the surviving pattern, and
+// a density-aware crossover that falls back to the masked-dense GEMM where
+// sparse kernels would lose. Unconverted layers are shared with the
+// original model — train one model or the other, not both. Pin the
+// execution path per process with SAMO_SPARSE_XOVER=sparse|dense when
+// bitwise reproducibility across machines matters more than speed.
+func Sparsify(m *Model, pr *PruneResult) *Model { return nn.Sparsify(m, pr) }
+
+// SetSparseCompute pins every sparse-layer execution decision to "sparse"
+// or "dense", or restores per-bucket probing with "auto", returning the
+// previous mode. Pinning gives machine-independent numerics (the crossover
+// otherwise freezes whichever path times faster here) and probe-free
+// timings; SAMO_SPARSE_XOVER sets the initial mode.
+func SetSparseCompute(mode string) (prev string, err error) { return sparse.SetXover(mode) }
+
 // EarlyBird is the convergence-tested pruning algorithm the paper uses
 // (You et al., ICLR 2020). Call Observe(model) after each training epoch;
 // when it returns true, Ticket() holds the pruning result.
@@ -346,6 +391,8 @@ func RunExperiment(name string, w io.Writer, trainIters int) bool {
 		experiments.MemoryReport(w)
 	case "sweep":
 		experiments.SparsitySweep(w)
+	case "sparseexec":
+		experiments.SparseExec(w)
 	default:
 		return false
 	}
@@ -355,5 +402,5 @@ func RunExperiment(name string, w io.Writer, trainIters int) bool {
 // ExperimentNames lists the experiments RunExperiment accepts: the paper's
 // figures and tables in order, then the extension studies.
 func ExperimentNames() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "memory", "sweep"}
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "memory", "sweep", "sparseexec"}
 }
