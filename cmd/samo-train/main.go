@@ -44,6 +44,11 @@ func run(args []string, out io.Writer) error {
 	iters := fs.Int("iters", 100, "training iterations")
 	hidden := fs.Int("hidden", 48, "model width")
 	layers := fs.Int("layers", 2, "transformer blocks")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for crash-consistent checkpoints (empty = off)")
+	ckptEvery := fs.Int("checkpoint-every", 10, "checkpoint period in iterations")
+	ckptKeep := fs.Int("checkpoint-keep", 2, "complete checkpoints to retain")
+	resume := fs.Bool("resume", false, "resume from the newest verified checkpoint in -checkpoint-dir")
+	deadline := fs.Duration("deadline", 0, "collective deadline (failure backstop detector; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -77,7 +82,13 @@ func run(args []string, out io.Writer) error {
 		batches = append(batches, b)
 	}
 
-	pcfg := samo.ParallelConfig{Ginter: *ginter, Gdata: *gdata, Microbatch: 1, Mode: mode}
+	pcfg := samo.ParallelConfig{Ginter: *ginter, Gdata: *gdata, Microbatch: 1, Mode: mode,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointKeep:     *ckptKeep,
+		Resume:             *resume,
+		CollectiveDeadline: *deadline,
+	}
 	if pcfg.Ginter > len(build().Layers) {
 		return fmt.Errorf("ginter %d exceeds %d layers", pcfg.Ginter, len(build().Layers))
 	}
@@ -86,7 +97,19 @@ func run(args []string, out io.Writer) error {
 
 	res := samo.Train(pcfg, build, func() samo.Optimizer { return samo.NewAdamW(3e-3, 0.01) },
 		ticket, batches)
+	for _, w := range res.Warnings {
+		fmt.Fprintf(out, "warning: %s\n", w)
+	}
+	if res.Err != nil {
+		return res.Err
+	}
+	if res.StartBatch > 0 {
+		fmt.Fprintf(out, "resumed from checkpoint step %d\n", res.StartBatch)
+	}
 	for i, l := range res.Losses {
+		if i < res.StartBatch {
+			continue // not trained in this process; no loss to report
+		}
 		if i%10 == 0 || i == len(res.Losses)-1 {
 			fmt.Fprintf(out, "iter %4d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
 		}

@@ -44,3 +44,42 @@ func TestRunRejectsBadLayout(t *testing.T) {
 		t.Fatalf("expected ginter-exceeds-layers error, got %v", err)
 	}
 }
+
+// TestRunCheckpointResume trains half the run, then restarts the command
+// with -resume and the same checkpoint dir: the second invocation must pick
+// up at the saved step and report only the remaining iterations.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-ginter", "2", "-gdata", "1", "-hidden", "16", "-layers", "2",
+		"-checkpoint-dir", dir, "-checkpoint-every", "2"}
+
+	var first strings.Builder
+	if err := run(append([]string{"-iters", "4"}, base...), &first); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	var second strings.Builder
+	if err := run(append([]string{"-iters", "8", "-resume"}, base...), &second); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	got := second.String()
+	if !strings.Contains(got, "resumed from checkpoint step 4") {
+		t.Fatalf("resumed run missing resume banner:\n%s", got)
+	}
+	if strings.Contains(got, "iter    0") {
+		t.Fatalf("resumed run must not report pre-resume iterations:\n%s", got)
+	}
+	if !strings.Contains(got, "iter    7") {
+		t.Fatalf("resumed run missing final iteration report:\n%s", got)
+	}
+}
+
+// TestRunResumeRequiresDir pins flag validation through the engine: -resume
+// without -checkpoint-dir is a config error surfaced on Result.Err.
+func TestRunResumeRequiresDir(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-iters", "1", "-hidden", "16", "-resume"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "Resume") {
+		t.Fatalf("expected resume-requires-dir error, got %v", err)
+	}
+}

@@ -63,12 +63,18 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintln(out, "\n--- dense data parallelism ---")
 	dense := samo.Train(pcfg, build, optb, nil, makeBatches())
+	if dense.Err != nil {
+		return dense.Err
+	}
 	show(out, dense)
 
 	fmt.Fprintln(out, "\n--- SAMO data parallelism (90% pruned, compressed all-reduce) ---")
 	ticket := samo.PruneMagnitude(build(), 0.9)
 	pcfg.Mode = samo.ModeSAMO
 	sres := samo.Train(pcfg, build, optb, ticket, makeBatches())
+	if sres.Err != nil {
+		return sres.Err
+	}
 	show(out, sres)
 
 	d, s := dense.Fabric.TotalCollElements(), sres.Fabric.TotalCollElements()

@@ -68,12 +68,18 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintln(out, "\n--- dense AxoNN ---")
 	dense := samo.Train(pcfg, build, optb, nil, makeBatches())
+	if dense.Err != nil {
+		return dense.Err
+	}
 	report(out, dense)
 
 	fmt.Fprintln(out, "\n--- AxoNN+SAMO (90% pruned) ---")
 	ticket := samo.PruneMagnitude(build(), 0.9)
 	pcfg.Mode = samo.ModeSAMO
 	samoRes := samo.Train(pcfg, build, optb, ticket, makeBatches())
+	if samoRes.Err != nil {
+		return samoRes.Err
+	}
 	report(out, samoRes)
 
 	fmt.Fprintf(out, "\ncollective elements per run: dense %d vs SAMO %d (%.1fx smaller all-reduce)\n",

@@ -20,9 +20,13 @@
 package axonn
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/sparse-dl/samo/internal/ckpt"
 	"github.com/sparse-dl/samo/internal/comm"
 	"github.com/sparse-dl/samo/internal/core"
 	"github.com/sparse-dl/samo/internal/nn"
@@ -49,6 +53,38 @@ type Config struct {
 	// InitialLossScale overrides the dynamic loss scaler's starting scale
 	// when positive (tests use it to provoke overflow skips).
 	InitialLossScale float64
+
+	// Fault, when non-nil, arms a deterministic fault-injection plan on the
+	// FIRST fabric only — a restart replaces the failed hardware, so the
+	// recovery fabric runs clean. Chaos tests use it; production leaves nil.
+	Fault *comm.FaultPlan
+	// CollectiveDeadline bounds every blocking receive (comm.SetDeadline):
+	// the backstop detector for stalled or silently dead peers. It must
+	// comfortably exceed a batch plus a checkpoint fsync; 0 disables it.
+	CollectiveDeadline time.Duration
+	// CheckpointDir enables crash-consistent checkpointing when non-empty:
+	// the data-group-0 rank of each pipeline stage saves its shard through
+	// internal/ckpt after every CheckpointEvery-th batch (and the final
+	// one). A checkpoint at step k captures the state AFTER batch k-1.
+	CheckpointDir string
+	// CheckpointEvery is the save period in batches (default 1).
+	CheckpointEvery int
+	// CheckpointKeep is the retention passed to ckpt.Options (minimum 2).
+	CheckpointKeep int
+	// Resume starts from the newest verified checkpoint in CheckpointDir
+	// instead of batch 0; batches before the resume point are not replayed
+	// and their Losses entries stay zero (see Result.StartBatch).
+	Resume bool
+	// MaxRestarts bounds in-process recovery attempts after a fabric abort
+	// (rank failure or deadline). 0 means the default of 2; negative
+	// disables recovery so the first abort surfaces as Result.Err.
+	MaxRestarts int
+}
+
+// tag names the training configuration for the checkpoint manifest: a
+// checkpoint only resumes into the same parallel layout and mode.
+func (c Config) tag() string {
+	return fmt.Sprintf("axonn:g%dx%d:mb%d:%v", c.Ginter, c.Gdata, c.Microbatch, c.Mode)
 }
 
 // GPUs returns the total rank count.
@@ -89,56 +125,202 @@ type OptBuilder func() optim.Optimizer
 // Result aggregates a training run's outputs.
 type Result struct {
 	// Losses holds the mean unscaled loss of each batch (averaged over
-	// data-parallel groups).
+	// data-parallel groups), indexed by global batch. Entries before
+	// StartBatch were not trained in this process (Resume) and stay zero.
 	Losses []float64
-	// SkippedSteps counts loss-scale overflow skips.
+	// SkippedSteps counts loss-scale overflow skips (cumulative across a
+	// resume, restored from the checkpoint).
 	SkippedSteps int
 	// Fabric exposes traffic statistics for assertions on communication
-	// volume (e.g. compressed vs dense all-reduce payloads).
+	// volume (e.g. compressed vs dense all-reduce payloads). After a
+	// recovery it is the LAST fabric; aborted fabrics are closed and
+	// discarded with the hardware they model.
 	Fabric *comm.Fabric
+	// Err is the terminal error: bad config, or a fabric abort that
+	// exhausted MaxRestarts. A successful (possibly recovered) run has nil.
+	Err error
+	// Restarts counts in-process recoveries that were needed.
+	Restarts int
+	// StartBatch is the first batch index actually trained (non-zero under
+	// Resume).
+	StartBatch int
+	// Warnings surfaces non-fatal degradations: checkpoints skipped as
+	// corrupt or incomplete during resume, and each abort that was
+	// recovered from.
+	Warnings []string
+	// StageStates holds each pipeline stage's serialized ModelState
+	// (core snapshot bytes) at the end of a successful run, from the
+	// data-group-0 replica. Recovery goldens compare these bitwise.
+	StageStates [][]byte
 }
 
 // Train runs len(batches) training iterations under the given layout and
 // returns per-batch losses. pr may be nil for unpruned dense training.
+// Config errors and fabric aborts surface in Result.Err; when checkpointing
+// is enabled, a fabric abort (injected fault, rank failure, deadline) is
+// recovered in-process: the fabric is torn down, a fresh one built, state
+// reloaded from the newest durable checkpoint, and the remaining batches
+// replayed deterministically — the recovered run is bitwise-identical to an
+// uninterrupted one.
 func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches []Batch) Result {
-	validate(cfg, batches)
-	f := comm.NewFabric(cfg.GPUs())
-	losses := make([][]float64, cfg.GPUs())
-	skips := make([]int, cfg.GPUs())
-
-	var wg sync.WaitGroup
-	for r := 0; r < cfg.GPUs(); r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			w := newWorker(cfg, f.Rank(r), build, optb, pr)
-			losses[r], skips[r] = w.run(batches)
-		}(r)
+	var res Result
+	if err := validate(cfg, batches); err != nil {
+		res.Err = err
+		return res
 	}
-	wg.Wait()
+	if cfg.Mode == core.SAMO && pr == nil {
+		res.Err = fmt.Errorf("axonn: SAMO mode requires a pruning result")
+		return res
+	}
+	// Probe-build once so a partition mismatch is a config error here, not
+	// a panic inside a rank goroutine.
+	if n := len(build().Layers); cfg.Ginter > n {
+		res.Err = fmt.Errorf("axonn: %d pipeline stages for %d layers", cfg.Ginter, n)
+		return res
+	}
 
-	res := Result{Fabric: f, SkippedSteps: skips[lastStageRank(cfg, 0)]}
-	res.Losses = losses[lastStageRank(cfg, 0)]
-	return res
+	var mgr *ckpt.Manager
+	every := cfg.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	if cfg.CheckpointDir != "" {
+		var err error
+		mgr, err = ckpt.New(ckpt.Options{
+			Dir:    cfg.CheckpointDir,
+			Shards: cfg.Ginter,
+			Keep:   cfg.CheckpointKeep,
+			Tag:    cfg.tag(),
+		})
+		if err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	maxRestarts := cfg.MaxRestarts
+	switch {
+	case maxRestarts == 0:
+		maxRestarts = 2
+	case maxRestarts < 0:
+		maxRestarts = 0
+	}
+
+	start := 0
+	if cfg.Resume && mgr != nil {
+		if step, warns, ok := mgr.LatestStep(); ok {
+			res.Warnings = append(res.Warnings, warns...)
+			start = min(step, len(batches))
+		}
+	}
+	res.StartBatch = start
+	res.Losses = make([]float64, len(batches))
+
+	for attempt := 0; ; attempt++ {
+		f := comm.NewFabric(cfg.GPUs())
+		if attempt == 0 {
+			f.InjectFaults(cfg.Fault)
+		}
+		if cfg.CollectiveDeadline > 0 {
+			f.SetDeadline(cfg.CollectiveDeadline)
+		}
+		workers := make([]*worker, cfg.GPUs())
+		errs := make([]error, cfg.GPUs())
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.GPUs(); r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rk := f.Rank(r)
+				// A panic anywhere in the stack must poison the fabric, or
+				// the surviving ranks deadlock on the dead one's messages.
+				defer func() {
+					if p := recover(); p != nil {
+						errs[r] = rk.Fail(fmt.Errorf("panic: %v", p))
+					}
+				}()
+				w := newWorker(cfg, rk, build, optb, pr)
+				workers[r] = w
+				errs[r] = w.runFrom(batches, start, mgr, every, res.Losses)
+			}(r)
+		}
+		wg.Wait()
+
+		err := f.Err()
+		for _, e := range errs {
+			if err != nil {
+				break
+			}
+			err = e
+		}
+		if err == nil {
+			res.Fabric = f
+			loss := workers[lastStageRank(cfg, 0)]
+			res.SkippedSteps = loss.state.SkippedSteps()
+			for stage := 0; stage < cfg.Ginter; stage++ {
+				var buf bytes.Buffer
+				if _, serr := workers[stage].state.Save(&buf); serr != nil {
+					res.Err = serr
+					return res
+				}
+				res.StageStates = append(res.StageStates, buf.Bytes())
+			}
+			return res
+		}
+
+		f.Close() // poison stragglers (none left) and drain pooled buffers
+		if !recoverable(err) || attempt >= maxRestarts {
+			res.Err = err
+			res.Fabric = f
+			return res
+		}
+		res.Restarts++
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("axonn: recovering from abort (attempt %d): %v", attempt+1, err))
+		start = 0
+		if mgr != nil {
+			if step, warns, ok := mgr.LatestStep(); ok {
+				res.Warnings = append(res.Warnings, warns...)
+				start = min(step, len(batches))
+			}
+		}
+	}
+}
+
+// recoverable reports whether err is a fabric abort that a restart can heal
+// (a failed rank or a tripped deadline) rather than a config or I/O error
+// that would just fail again.
+func recoverable(err error) bool {
+	var rf *comm.RankFailedError
+	var de *comm.DeadlineError
+	return errors.As(err, &rf) || errors.As(err, &de)
 }
 
 func lastStageRank(cfg Config, dataGroup int) int {
 	return dataGroup*cfg.Ginter + cfg.Ginter - 1
 }
 
-func validate(cfg Config, batches []Batch) {
+func validate(cfg Config, batches []Batch) error {
 	if cfg.Ginter < 1 || cfg.Gdata < 1 || cfg.Microbatch < 1 {
-		panic(fmt.Sprintf("axonn: bad config %+v", cfg))
+		return fmt.Errorf("axonn: bad config: Ginter=%d Gdata=%d Microbatch=%d (all must be ≥1)",
+			cfg.Ginter, cfg.Gdata, cfg.Microbatch)
 	}
-	for _, b := range batches {
+	if cfg.ClipNorm < 0 {
+		return fmt.Errorf("axonn: negative ClipNorm %g", cfg.ClipNorm)
+	}
+	for i, b := range batches {
 		if b.Samples%cfg.Gdata != 0 {
-			panic(fmt.Sprintf("axonn: batch of %d samples not divisible by Gdata=%d", b.Samples, cfg.Gdata))
+			return fmt.Errorf("axonn: batch %d of %d samples not divisible by Gdata=%d", i, b.Samples, cfg.Gdata)
 		}
 		shard := b.Samples / cfg.Gdata
 		if shard%cfg.Microbatch != 0 {
-			panic(fmt.Sprintf("axonn: shard of %d samples not divisible by microbatch=%d", shard, cfg.Microbatch))
+			return fmt.Errorf("axonn: batch %d shard of %d samples not divisible by microbatch=%d", i, shard, cfg.Microbatch)
 		}
 	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return fmt.Errorf("axonn: Resume requires CheckpointDir")
+	}
+	return nil
 }
 
 // worker is one rank: a pipeline stage within a data-parallel group.
@@ -229,12 +411,42 @@ func min(a, b int) int {
 	return b
 }
 
-func (w *worker) run(batches []Batch) ([]float64, int) {
-	var losses []float64
-	for _, b := range batches {
-		losses = append(losses, w.trainBatch(b))
+// runFrom trains batches[start:], loading this stage's shard of checkpoint
+// `start` first when resuming. The data-group-0 replica of each stage is
+// the checkpoint saver: after the global overflow consensus all replicas
+// are bitwise-identical, so one copy per stage suffices, and a checkpoint
+// at step i+1 captures the state after batch i. losses is indexed by global
+// batch and written only by the data-group-0 last-stage rank.
+func (w *worker) runFrom(batches []Batch, start int, mgr *ckpt.Manager, every int, losses []float64) error {
+	if start > 0 {
+		if err := mgr.Load(start, w.stage, w.state); err != nil {
+			return w.rk.Fail(err)
+		}
 	}
-	return losses, w.state.SkippedSteps()
+	saver := mgr != nil && w.dgrp == 0
+	for i := start; i < len(batches); i++ {
+		if err := w.rk.BeginStep(i); err != nil {
+			return err
+		}
+		loss, err := w.trainBatch(batches[i])
+		if err != nil {
+			return err
+		}
+		if w.last && w.dgrp == 0 {
+			losses[i] = loss
+		}
+		if saver && ((i+1)%every == 0 || i == len(batches)-1) {
+			if err := mgr.Save(i+1, w.stage, w.state); err != nil {
+				return w.rk.Fail(err)
+			}
+			if w.stage == 0 {
+				if err := mgr.Prune(); err != nil {
+					return w.rk.Fail(err)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // getCaches pops a recycled per-layer cache slice (or makes one).
@@ -268,7 +480,7 @@ func (w *worker) microTargets(mb, rowsPerMB int) []int {
 
 // forward runs one microbatch through this stage, then either starts the
 // backward (last stage) or ships the activation downstream.
-func (w *worker) forward(mb int, x *tensor.Tensor, rowsPerMB int) {
+func (w *worker) forward(mb int, x *tensor.Tensor, rowsPerMB int) error {
 	caches := w.getCaches()
 	y := w.model.ForwardArena(w.arena, x, true, caches)
 	w.caches[mb] = caches
@@ -277,24 +489,30 @@ func (w *worker) forward(mb int, x *tensor.Tensor, rowsPerMB int) {
 		loss, grad := nn.CrossEntropyArena(w.arena, y, w.microTargets(mb, rowsPerMB))
 		w.batchLoss += loss / float64(w.mCount)
 		tensor.Scale(grad, w.gradScale)
-		w.backward(mb, grad)
+		if err := w.backward(mb, grad); err != nil {
+			return err
+		}
 		w.bwdDone++
-	} else {
-		w.rk.Send(w.rk.ID()+1, comm.TagActivation, mb, y.Data(), y.Shape()...)
+		return nil
 	}
+	return w.rk.Send(w.rk.ID()+1, comm.TagActivation, mb, y.Data(), y.Shape()...)
 }
 
-func (w *worker) backward(mb int, grad *tensor.Tensor) {
+func (w *worker) backward(mb int, grad *tensor.Tensor) error {
 	caches, ok := w.caches[mb]
 	if !ok {
-		panic(fmt.Sprintf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
+		// A gradient for a microbatch this rank never forwarded means the
+		// schedule (or a peer) is corrupt: attribute it to this rank so the
+		// whole fabric unwinds with a typed error instead of panicking.
+		return w.rk.Fail(fmt.Errorf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
 	}
 	delete(w.caches, mb)
 	gin := w.model.BackwardArena(w.arena, caches, grad, w.state.GradHook())
 	w.putCaches(caches)
 	if !w.first {
-		w.rk.Send(w.rk.ID()-1, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
+		return w.rk.Send(w.rk.ID()-1, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
 	}
+	return nil
 }
 
 // trainBatch drives one batch through the pipeline with message-driven
@@ -303,7 +521,7 @@ func (w *worker) backward(mb int, grad *tensor.Tensor) {
 // collective chunks — runs on recycled memory; the arena reset at the end
 // is safe because the overflow-consensus collective below is a global
 // barrier (no peer still holds references into this batch's payloads).
-func (w *worker) trainBatch(global Batch) float64 {
+func (w *worker) trainBatch(global Batch) (float64, error) {
 	cfg := w.cfg
 	per := global.Samples / cfg.Gdata
 	rowsShard := per * global.SampleRows
@@ -328,61 +546,84 @@ func (w *worker) trainBatch(global Batch) float64 {
 	// single stage there is no pipeline and every microbatch runs inline.
 	if w.first {
 		for w.injected < m && (w.injected < cfg.Ginter || w.last) {
-			w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB)
+			if err := w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB); err != nil {
+				return 0, err
+			}
 			w.injected++
 		}
 	}
 
-	// Message-driven loop: process whatever arrives (§II-E).
+	// Message-driven loop: process whatever arrives (§II-E). A poisoned
+	// fabric surfaces here as a Recv error: the batch aborts mid-flight and
+	// the engine restarts from the last durable checkpoint — per-batch
+	// state (arena, caches) is torn down with the worker.
 	for w.fwdDone < m || w.bwdDone < m {
-		msg := w.rk.Recv()
+		msg, err := w.rk.Recv()
+		if err != nil {
+			return 0, err
+		}
 		switch msg.Tag {
 		case comm.TagActivation:
-			w.forward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...), rowsPerMB)
+			if err := w.forward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...), rowsPerMB); err != nil {
+				return 0, err
+			}
 		case comm.TagGradient:
-			w.backward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...))
+			if err := w.backward(msg.MB, w.arena.Wrap(msg.Data, msg.Shape...)); err != nil {
+				return 0, err
+			}
 			w.bwdDone++
 			if w.first && w.injected < m {
-				w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB)
+				if err := w.forward(w.injected, w.microInput(w.injected, rowsPerMB), rowsPerMB); err != nil {
+					return 0, err
+				}
 				w.injected++
 			}
 		default:
-			panic(fmt.Sprintf("axonn: unexpected message tag %v", msg.Tag))
+			return 0, w.rk.Fail(fmt.Errorf("axonn: unexpected message tag %v", msg.Tag))
 		}
 	}
 
 	// Data-parallel phase: all-reduce the (compressed under SAMO) fp16
 	// gradient buffers across the stage group — §IV-A.
 	for _, buf := range w.state.ReduceBuffers() {
+		var err error
 		if cfg.OrderedReduce {
-			w.rk.AllReduceOrdered(w.stageGroup, buf)
+			err = w.rk.AllReduceOrdered(w.stageGroup, buf)
 		} else {
-			w.rk.AllReduce(w.stageGroup, buf)
+			err = w.rk.AllReduce(w.stageGroup, buf)
+		}
+		if err != nil {
+			return 0, err
 		}
 	}
 
 	// Global overflow consensus so every rank agrees to step or skip. This
 	// collective doubles as the batch-end barrier that makes the arena
-	// reset below safe.
+	// reset below safe — and the reason a checkpoint at step k+1 can only
+	// exist if EVERY rank finished batch k.
 	w.flagBuf[0] = 0
 	if w.state.Overflow() {
 		w.flagBuf[0] = 1
 	}
-	w.rk.AllReduceOrdered(w.allRanks, w.flagBuf)
+	if err := w.rk.AllReduceOrdered(w.allRanks, w.flagBuf); err != nil {
+		return 0, err
+	}
 	w.state.StepGiven(w.flagBuf[0] > 0)
 
 	// Average the reported loss across data-parallel groups (float64 stays
 	// intact when there is only one group).
 	if w.last && cfg.Gdata > 1 {
 		w.lossBuf[0] = float32(w.batchLoss)
-		w.rk.AllReduceOrdered(w.lossGroup, w.lossBuf)
+		if err := w.rk.AllReduceOrdered(w.lossGroup, w.lossBuf); err != nil {
+			return 0, err
+		}
 		w.batchLoss = float64(w.lossBuf[0]) / float64(cfg.Gdata)
 	}
 
 	w.shardIn = nil
 	w.shardTargets = nil
 	w.arena.Reset()
-	return w.batchLoss
+	return w.batchLoss, nil
 }
 
 // Evaluate runs a forward-only pass over the batch on a single rank layout

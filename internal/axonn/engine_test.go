@@ -2,6 +2,7 @@ package axonn
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/sparse-dl/samo/internal/core"
@@ -260,14 +261,38 @@ func TestPartition(t *testing.T) {
 	partition(2, 3, 0)
 }
 
-func TestBatchValidation(t *testing.T) {
-	b := makeBatches(1, 7, 900)
-	defer func() {
-		if recover() == nil {
-			t.Error("indivisible batch should panic")
-		}
-	}()
-	Train(Config{Ginter: 1, Gdata: 2, Microbatch: 1, Mode: core.Dense}, mlpBuilder(1), adamBuilder(), nil, b)
+func TestBadConfigSurfacesAsError(t *testing.T) {
+	// Bad user config must come back as Result.Err — never a panic and
+	// never a hung fabric. Table-driven over every validate branch plus the
+	// probe-build partition check.
+	good := makeBatches(1, 8, 900)
+	cases := []struct {
+		name    string
+		cfg     Config
+		batches []Batch
+		want    string
+	}{
+		{"zero ginter", Config{Ginter: 0, Gdata: 1, Microbatch: 1}, good, "bad config"},
+		{"zero gdata", Config{Ginter: 1, Gdata: 0, Microbatch: 1}, good, "bad config"},
+		{"zero microbatch", Config{Ginter: 1, Gdata: 1, Microbatch: 0}, good, "bad config"},
+		{"negative clipnorm", Config{Ginter: 1, Gdata: 1, Microbatch: 1, ClipNorm: -1}, good, "ClipNorm"},
+		{"indivisible by gdata", Config{Ginter: 1, Gdata: 2, Microbatch: 1}, makeBatches(1, 7, 900), "not divisible by Gdata"},
+		{"indivisible by microbatch", Config{Ginter: 1, Gdata: 1, Microbatch: 3}, good, "not divisible by microbatch"},
+		{"resume without dir", Config{Ginter: 1, Gdata: 1, Microbatch: 1, Resume: true}, good, "Resume requires"},
+		{"samo without pruning", Config{Ginter: 1, Gdata: 1, Microbatch: 1, Mode: core.SAMO}, good, "pruning result"},
+		{"more stages than layers", Config{Ginter: 64, Gdata: 1, Microbatch: 1}, good, "pipeline stages"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Train(tc.cfg, mlpBuilder(1), adamBuilder(), nil, tc.batches)
+			if res.Err == nil {
+				t.Fatal("bad config accepted")
+			}
+			if !strings.Contains(res.Err.Error(), tc.want) {
+				t.Fatalf("err %q does not mention %q", res.Err, tc.want)
+			}
+		})
+	}
 }
 
 func TestRingReduceAlsoWorks(t *testing.T) {

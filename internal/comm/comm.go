@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // bufPool recycles collective chunk buffers. Buffers are handed from
@@ -141,12 +142,36 @@ type Stats struct {
 }
 
 // Fabric connects n ranks. Create once, then hand each goroutine its Rank.
+// A fabric carries a fault model (see fault.go): it can be poisoned — by an
+// injected FaultPlan, the collective deadline detector, or an engine calling
+// Poison/Fail — after which every blocking primitive returns the poison
+// error instead of waiting on dead peers.
 type Fabric struct {
 	n     int
 	data  []chan Message
 	coll  []chan collMsg
 	stats []Stats
 	bufs  bufPool
+
+	// Poison state: one-way, first error wins (fault.go).
+	poisonOnce sync.Once
+	poisoned   atomic.Bool
+	poisonErr  error
+	poisonCh   chan struct{}
+
+	// Backstop detector: blocking receives give up after this long (0=off).
+	deadlineNs atomic.Int64
+
+	// Armed fault plan (nil-equivalent when faulty is false).
+	faulty       bool
+	crashAtStep  []int // per rank, -1 = never
+	crashAtOp    []int
+	dropEvery    int
+	delayEvery   int
+	faultSeed    uint64
+	p2pSeen      atomic.Int64
+	delayMu      sync.Mutex
+	delayed      []*Message // per destination, at most one held-back message
 }
 
 type collMsg struct {
@@ -163,9 +188,10 @@ func NewFabric(n int) *Fabric {
 		panic("comm: fabric needs at least one rank")
 	}
 	f := &Fabric{n: n,
-		data:  make([]chan Message, n),
-		coll:  make([]chan collMsg, n),
-		stats: make([]Stats, n),
+		data:     make([]chan Message, n),
+		coll:     make([]chan collMsg, n),
+		stats:    make([]Stats, n),
+		poisonCh: make(chan struct{}),
 	}
 	for i := range f.data {
 		f.data[i] = make(chan Message, 4096)
@@ -183,7 +209,7 @@ func (f *Fabric) Rank(r int) *Rank {
 	if r < 0 || r >= f.n {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, f.n))
 	}
-	return &Rank{f: f, r: r, pending: make(map[pendKey]*pendQueue)}
+	return &Rank{f: f, r: r, step: -1, pending: make(map[pendKey]*pendQueue)}
 }
 
 // Stats returns the traffic counters for rank r.
@@ -243,6 +269,8 @@ type Rank struct {
 	r       int
 	pending map[pendKey]*pendQueue
 	seq     int
+	step    int // current engine step (BeginStep), for failure attribution
+	ops     int // collective entries so far, for CrashAtOp fault points
 	scratch []float32 // reusable single-element buffer (barriers, flags)
 	bounds  []int     // reusable chunk-boundary scratch for ring collectives
 }
@@ -268,20 +296,87 @@ func (rk *Rank) Size() int { return rk.f.n }
 // Send delivers a data-plane message asynchronously. The data slice is
 // handed over; the sender must not modify it afterwards (zero-copy, like a
 // GPU handing a buffer to the NIC). shape, if given, describes the tensor
-// geometry of data.
-func (rk *Rank) Send(to int, tag Tag, mb int, data []float32, shape ...int) {
+// geometry of data. On a poisoned fabric Send returns the poison error;
+// under an armed fault plan the message may be deterministically dropped or
+// held back (delivered after the destination's next message).
+func (rk *Rank) Send(to int, tag Tag, mb int, data []float32, shape ...int) error {
+	if err := rk.f.Err(); err != nil {
+		return err
+	}
 	rk.seq++
 	rk.f.stats[rk.r].P2PMessages.Add(1)
 	rk.f.stats[rk.r].P2PElements.Add(int64(len(data)))
-	rk.f.data[to] <- Message{From: rk.r, Tag: tag, MB: mb, Data: data, Shape: shape, Seq: rk.seq}
+	msg := Message{From: rk.r, Tag: tag, MB: mb, Data: data, Shape: shape, Seq: rk.seq}
+	if rk.f.faulty {
+		n := uint64(rk.f.p2pSeen.Add(1)) + rk.f.faultSeed
+		if d := rk.f.dropEvery; d > 0 && n%uint64(d) == 0 {
+			return nil // lost on the wire; the deadline detector is the remedy
+		}
+		if d := rk.f.delayEvery; d > 0 && n%uint64(d) == 0 {
+			rk.f.delayMu.Lock()
+			held := rk.f.delayed[to]
+			rk.f.delayed[to] = &msg
+			rk.f.delayMu.Unlock()
+			if held == nil {
+				return nil
+			}
+			msg = *held // two holds collide: the older one goes out now
+		}
+	}
+	if err := rk.deliver(to, msg); err != nil {
+		return err
+	}
+	if rk.f.delayed != nil {
+		rk.f.delayMu.Lock()
+		held := rk.f.delayed[to]
+		rk.f.delayed[to] = nil
+		rk.f.delayMu.Unlock()
+		if held != nil {
+			return rk.deliver(to, *held)
+		}
+	}
+	return nil
+}
+
+func (rk *Rank) deliver(to int, msg Message) error {
+	select {
+	case rk.f.data[to] <- msg:
+		return nil
+	case <-rk.f.poisonCh:
+		return rk.f.Err()
+	}
 }
 
 // Inbox returns the data-plane receive channel: the heart of message-driven
 // scheduling. The engine blocks on it and processes whatever arrives.
+// Prefer Recv, which also unwinds on fabric poison and deadline.
 func (rk *Rank) Inbox() <-chan Message { return rk.f.data[rk.r] }
 
-// Recv blocks for the next data-plane message (convenience for tests).
-func (rk *Rank) Recv() Message { return <-rk.f.data[rk.r] }
+// Recv blocks for the next data-plane message. It returns the poison error
+// as soon as the fabric dies (messages already queued are not drained), and
+// trips the deadline detector when one is configured.
+func (rk *Rank) Recv() (Message, error) {
+	if err := rk.f.Err(); err != nil {
+		return Message{}, err
+	}
+	var timeout <-chan time.Time
+	d := rk.f.deadline()
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case m := <-rk.f.data[rk.r]:
+		return m, nil
+	case <-rk.f.poisonCh:
+		return Message{}, rk.f.Err()
+	case <-timeout:
+		err := &DeadlineError{Rank: rk.r, Step: rk.step, Timeout: d}
+		rk.f.Poison(err)
+		return Message{}, err
+	}
+}
 
 // --- Collectives -----------------------------------------------------------
 //
@@ -289,29 +384,52 @@ func (rk *Rank) Recv() Message { return <-rk.f.data[rk.r] }
 // buffer lengths, in the same order. Internally they use a control-plane
 // channel with (from, tag) matching so concurrent groups cannot interfere.
 
-func (rk *Rank) sendColl(to, tag int, data []float32) {
-	rk.f.coll[to] <- collMsg{from: rk.r, tag: tag, data: data}
+func (rk *Rank) sendColl(to, tag int, data []float32) error {
+	select {
+	case rk.f.coll[to] <- collMsg{from: rk.r, tag: tag, data: data}:
+		return nil
+	case <-rk.f.poisonCh:
+		return rk.f.Err()
+	}
 }
 
-func (rk *Rank) recvColl(from, tag int) []float32 {
+func (rk *Rank) recvColl(from, tag int) ([]float32, error) {
 	k := pendKey{from, tag}
 	if q := rk.pending[k]; q != nil {
 		if m, ok := q.pop(); ok {
-			return m.data
+			return m.data, nil
 		}
 	}
+	var timeout <-chan time.Time
+	d := rk.f.deadline()
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	for {
-		m := <-rk.f.coll[rk.r]
-		if m.from == from && m.tag == tag {
-			return m.data
+		if err := rk.f.Err(); err != nil {
+			return nil, err
 		}
-		mk := pendKey{m.from, m.tag}
-		q := rk.pending[mk]
-		if q == nil {
-			q = &pendQueue{}
-			rk.pending[mk] = q
+		select {
+		case m := <-rk.f.coll[rk.r]:
+			if m.from == from && m.tag == tag {
+				return m.data, nil
+			}
+			mk := pendKey{m.from, m.tag}
+			q := rk.pending[mk]
+			if q == nil {
+				q = &pendQueue{}
+				rk.pending[mk] = q
+			}
+			q.push(m)
+		case <-rk.f.poisonCh:
+			return nil, rk.f.Err()
+		case <-timeout:
+			err := &DeadlineError{Rank: rk.r, Step: rk.step, Timeout: d}
+			rk.f.Poison(err)
+			return nil, err
 		}
-		q.push(m)
 	}
 }
 
@@ -337,11 +455,16 @@ const (
 
 // AllReduce sums buf across the group in place using the bandwidth-optimal
 // ring algorithm (reduce-scatter then all-gather), the same structure NCCL
-// uses for large messages — each rank sends 2·(G−1)/G of the buffer.
-func (rk *Rank) AllReduce(group []int, buf []float32) {
+// uses for large messages — each rank sends 2·(G−1)/G of the buffer. On a
+// poisoned fabric (or when a fault fires) it unwinds with the typed error;
+// buf's contents are then unspecified and the caller must not step on them.
+func (rk *Rank) AllReduce(group []int, buf []float32) error {
+	if err := rk.enterColl(); err != nil {
+		return err
+	}
 	g := len(group)
 	if g == 1 {
-		return
+		return nil
 	}
 	pos := rk.groupPos(group)
 	next := group[(pos+1)%g]
@@ -358,8 +481,13 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
 		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
-		rk.sendColl(next, opAllReduce+s, out)
-		in := rk.recvColl(prev, opAllReduce+s)
+		if err := rk.sendColl(next, opAllReduce+s, out); err != nil {
+			return err
+		}
+		in, err := rk.recvColl(prev, opAllReduce+s)
+		if err != nil {
+			return err
+		}
 		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
 		for i := range in {
@@ -374,30 +502,42 @@ func (rk *Rank) AllReduce(group []int, buf []float32) {
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
 		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
-		rk.sendColl(next, opAllReduce+1000+s, out)
-		in := rk.recvColl(prev, opAllReduce+1000+s)
+		if err := rk.sendColl(next, opAllReduce+1000+s, out); err != nil {
+			return err
+		}
+		in, err := rk.recvColl(prev, opAllReduce+1000+s)
+		if err != nil {
+			return err
+		}
 		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
 		copy(buf[lo:hi], in)
 		rk.f.bufs.put(in)
 	}
+	return nil
 }
 
 // AllReduceOrdered sums buf across the group with a rank-ordered
 // gather-to-root reduction: the floating-point additions happen in group
 // order, exactly matching a serial loop over ranks. Used where bitwise
 // reproducibility against a serial reference matters more than bandwidth.
-func (rk *Rank) AllReduceOrdered(group []int, buf []float32) {
+func (rk *Rank) AllReduceOrdered(group []int, buf []float32) error {
+	if err := rk.enterColl(); err != nil {
+		return err
+	}
 	g := len(group)
 	if g == 1 {
-		return
+		return nil
 	}
 	pos := rk.groupPos(group)
 	root := group[0]
 	rk.f.stats[rk.r].CollOps.Add(1)
 	if pos == 0 {
 		for i := 1; i < g; i++ {
-			in := rk.recvColl(group[i], opGather+i)
+			in, err := rk.recvColl(group[i], opGather+i)
+			if err != nil {
+				return err
+			}
 			rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
 			for j := range buf {
 				buf[j] += in[j]
@@ -407,14 +547,25 @@ func (rk *Rank) AllReduceOrdered(group []int, buf []float32) {
 	} else {
 		out := rk.f.bufs.get(len(buf))
 		copy(out, buf)
-		rk.sendColl(root, opGather+pos, out)
+		if err := rk.sendColl(root, opGather+pos, out); err != nil {
+			return err
+		}
 	}
-	rk.Broadcast(group, root, buf)
+	return rk.broadcast(group, root, buf)
 }
 
 // Broadcast copies root's buf to every rank (binomial-tree free: simple
 // root-sends-all, adequate in-process).
-func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
+func (rk *Rank) Broadcast(group []int, root int, buf []float32) error {
+	if err := rk.enterColl(); err != nil {
+		return err
+	}
+	return rk.broadcast(group, root, buf)
+}
+
+// broadcast is Broadcast without the collective-entry prologue, for reuse
+// inside AllReduceOrdered (one logical collective, one fault point).
+func (rk *Rank) broadcast(group []int, root int, buf []float32) error {
 	pos := rk.groupPos(group)
 	rootPos := -1
 	for i, g := range group {
@@ -433,26 +584,35 @@ func (rk *Rank) Broadcast(group []int, root int, buf []float32) {
 			}
 			out := rk.f.bufs.get(len(buf))
 			copy(out, buf)
-			rk.sendColl(g, opBcast+i, out)
+			if err := rk.sendColl(g, opBcast+i, out); err != nil {
+				return err
+			}
 		}
 	} else {
-		in := rk.recvColl(root, opBcast+pos)
+		in, err := rk.recvColl(root, opBcast+pos)
+		if err != nil {
+			return err
+		}
 		rk.f.stats[rk.r].CollElements.Add(int64(len(in)))
 		copy(buf, in)
 		rk.f.bufs.put(in)
 	}
+	return nil
 }
 
 // ReduceScatter sums buf across the group and leaves each rank with its
 // owned chunk in out (chunk boundaries from chunkBounds). buf is clobbered.
-func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
+func (rk *Rank) ReduceScatter(group []int, buf []float32) ([]float32, error) {
+	if err := rk.enterColl(); err != nil {
+		return nil, err
+	}
 	g := len(group)
 	pos := rk.groupPos(group)
 	bounds := rk.chunkBounds(len(buf), g)
 	if g == 1 {
 		out := make([]float32, len(buf))
 		copy(out, buf)
-		return out
+		return out, nil
 	}
 	next := group[(pos+1)%g]
 	prev := group[(pos-1+g)%g]
@@ -465,8 +625,13 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
 		out := rk.f.bufs.get(hi - lo)
 		copy(out, buf[lo:hi])
-		rk.sendColl(next, opRS+s, out)
-		in := rk.recvColl(prev, opRS+s)
+		if err := rk.sendColl(next, opRS+s, out); err != nil {
+			return nil, err
+		}
+		in, err := rk.recvColl(prev, opRS+s)
+		if err != nil {
+			return nil, err
+		}
 		lo, hi = bounds[recvChunk], bounds[recvChunk+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(hi - lo))
 		for i := range in {
@@ -478,12 +643,15 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) []float32 {
 	lo, hi := bounds[own], bounds[own+1]
 	out := make([]float32, hi-lo)
 	copy(out, buf[lo:hi])
-	return out
+	return out, nil
 }
 
 // AllGather concatenates each rank's chunk into full (length = total);
 // chunk sizes must follow chunkBounds(total, G).
-func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
+func (rk *Rank) AllGather(group []int, chunk []float32, total int) ([]float32, error) {
+	if err := rk.enterColl(); err != nil {
+		return nil, err
+	}
 	g := len(group)
 	pos := rk.groupPos(group)
 	full := make([]float32, total)
@@ -491,7 +659,7 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 	lo := bounds[pos]
 	copy(full[lo:lo+len(chunk)], chunk)
 	if g == 1 {
-		return full
+		return full, nil
 	}
 	next := group[(pos+1)%g]
 	prev := group[(pos-1+g)%g]
@@ -501,24 +669,30 @@ func (rk *Rank) AllGather(group []int, chunk []float32, total int) []float32 {
 		clo, chi := bounds[cur], bounds[cur+1]
 		out := rk.f.bufs.get(chi - clo)
 		copy(out, full[clo:chi])
-		rk.sendColl(next, opAG+s, out)
-		in := rk.recvColl(prev, opAG+s)
+		if err := rk.sendColl(next, opAG+s, out); err != nil {
+			return nil, err
+		}
+		in, err := rk.recvColl(prev, opAG+s)
+		if err != nil {
+			return nil, err
+		}
 		cur = (cur - 1 + g) % g
 		clo, chi = bounds[cur], bounds[cur+1]
 		rk.f.stats[rk.r].CollElements.Add(int64(chi - clo))
 		copy(full[clo:chi], in)
 		rk.f.bufs.put(in)
 	}
-	return full
+	return full, nil
 }
 
-// Barrier blocks until every rank of the group has entered it.
-func (rk *Rank) Barrier(group []int) {
+// Barrier blocks until every rank of the group has entered it (or the
+// fabric dies, in which case it unwinds with the poison error).
+func (rk *Rank) Barrier(group []int) error {
 	if rk.scratch == nil {
 		rk.scratch = make([]float32, 1)
 	}
 	rk.scratch[0] = 1
-	rk.AllReduceOrdered(group, rk.scratch)
+	return rk.AllReduceOrdered(group, rk.scratch)
 }
 
 // chunkBounds splits n elements into g nearly equal contiguous chunks,

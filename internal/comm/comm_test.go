@@ -32,11 +32,24 @@ func group(n int) []int {
 	return g
 }
 
+// must / must1 panic on a primitive error: these tests run on healthy
+// fabrics, so any error is a test bug and the panic carries the cause.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
 func TestSendRecvBasic(t *testing.T) {
 	f := NewFabric(2)
 	s, r := f.Rank(0), f.Rank(1)
-	s.Send(1, TagActivation, 7, []float32{1, 2, 3})
-	m := r.Recv()
+	must(s.Send(1, TagActivation, 7, []float32{1, 2, 3}))
+	m := must1(r.Recv())
 	if m.From != 0 || m.Tag != TagActivation || m.MB != 7 || len(m.Data) != 3 {
 		t.Fatalf("bad message: %+v", m)
 	}
@@ -52,14 +65,14 @@ func TestSendIsAsync(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 100; i++ {
-			s.Send(1, TagGradient, i, []float32{float32(i)})
+			must(s.Send(1, TagGradient, i, []float32{float32(i)}))
 		}
 		close(done)
 	}()
 	<-done // would deadlock if Send were synchronous
 	r := f.Rank(1)
 	for i := 0; i < 100; i++ {
-		m := r.Recv()
+		m := must1(r.Recv())
 		if m.MB != i {
 			t.Fatalf("message %d arrived as %d: FIFO violated", i, m.MB)
 		}
@@ -75,7 +88,7 @@ func TestAllReduceRingSums(t *testing.T) {
 				for i := range buf {
 					buf[i] = float32(rk.ID()*1000 + i)
 				}
-				rk.AllReduce(group(n), buf)
+				must(rk.AllReduce(group(n), buf))
 				results[rk.ID()] = buf
 			})
 			for i := 0; i < sz; i++ {
@@ -113,7 +126,7 @@ func TestAllReduceOrderedMatchesSerialExactly(t *testing.T) {
 	results := make([][]float32, n)
 	runGroup(n, func(rk *Rank) {
 		buf := append([]float32(nil), inputs[rk.ID()]...)
-		rk.AllReduceOrdered(group(n), buf)
+		must(rk.AllReduceOrdered(group(n), buf))
 		results[rk.ID()] = buf
 	})
 	for r := 0; r < n; r++ {
@@ -134,7 +147,7 @@ func TestAllReduceSubgroupsConcurrently(t *testing.T) {
 	runGroup(n, func(rk *Rank) {
 		g := groups[rk.ID()%2]
 		buf := []float32{float32(rk.ID() + 1)}
-		rk.AllReduce(g, buf)
+		must(rk.AllReduce(g, buf))
 		results[rk.ID()] = buf
 	})
 	if results[0][0] != 4 || results[2][0] != 4 { // 1+3
@@ -153,7 +166,7 @@ func TestBroadcast(t *testing.T) {
 		if rk.ID() == 2 {
 			buf = []float32{5, 9}
 		}
-		rk.Broadcast(group(n), 2, buf)
+		must(rk.Broadcast(group(n), 2, buf))
 		results[rk.ID()] = buf
 	})
 	for r := 0; r < n; r++ {
@@ -176,13 +189,13 @@ func TestReduceScatterThenAllGatherEqualsAllReduce(t *testing.T) {
 	viaRS := make([][]float32, n)
 	runGroup(n, func(rk *Rank) {
 		buf := append([]float32(nil), inputs[rk.ID()]...)
-		chunk := rk.ReduceScatter(group(n), buf)
-		viaRS[rk.ID()] = rk.AllGather(group(n), chunk, sz)
+		chunk := must1(rk.ReduceScatter(group(n), buf))
+		viaRS[rk.ID()] = must1(rk.AllGather(group(n), chunk, sz))
 	})
 	viaAR := make([][]float32, n)
 	runGroup(n, func(rk *Rank) {
 		buf := append([]float32(nil), inputs[rk.ID()]...)
-		rk.AllReduce(group(n), buf)
+		must(rk.AllReduce(group(n), buf))
 		viaAR[rk.ID()] = buf
 	})
 	for r := 0; r < n; r++ {
@@ -199,7 +212,7 @@ func TestBarrierReleasesAll(t *testing.T) {
 	var entered atomic32
 	runGroup(n, func(rk *Rank) {
 		entered.add(1)
-		rk.Barrier(group(n))
+		must(rk.Barrier(group(n)))
 		// After the barrier, everyone must have entered.
 		if entered.load() != int32(n) {
 			t.Errorf("rank %d passed barrier with %d/%d entered", rk.ID(), entered.load(), n)
@@ -235,7 +248,7 @@ func TestAllReduceLinearityProperty(t *testing.T) {
 			var out []float32
 			runGroup(n, func(rk *Rank) {
 				buf := append([]float32(nil), in[rk.ID()]...)
-				rk.AllReduce(group(n), buf)
+				must(rk.AllReduce(group(n), buf))
 				if rk.ID() == 0 {
 					out = buf
 				}
@@ -266,7 +279,7 @@ func TestCollectiveElementAccounting(t *testing.T) {
 	n, sz := 4, 100
 	f := runGroup(n, func(rk *Rank) {
 		buf := make([]float32, sz)
-		rk.AllReduce(group(n), buf)
+		must(rk.AllReduce(group(n), buf))
 	})
 	// Ring all-reduce receives 2·(G−1)/G·sz elements per rank.
 	perRank := f.Stats(0).CollElements.Load()
@@ -285,8 +298,8 @@ func TestOutOfOrderCollMatching(t *testing.T) {
 	runGroup(n, func(rk *Rank) {
 		a := []float32{float32(rk.ID())}
 		b := []float32{float32(rk.ID() * 10)}
-		rk.AllReduce(group(n), a)
-		rk.AllReduce(group(n), b)
+		must(rk.AllReduce(group(n), a))
+		must(rk.AllReduce(group(n), b))
 		results[rk.ID()] = []float32{a[0], b[0]}
 	})
 	for r := 0; r < n; r++ {
@@ -314,8 +327,8 @@ func TestBufferPoolBoundedAcrossFabrics(t *testing.T) {
 				for i := range buf {
 					buf[i] = float32(rk.ID() + i)
 				}
-				rk.AllReduce(g, buf)
-				rk.Barrier(g)
+				must(rk.AllReduce(g, buf))
+				must(rk.Barrier(g))
 			}
 		})
 		if got := f.PooledBytes(); got > maxPoolFloats*4 {

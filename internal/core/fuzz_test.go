@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzSnapshotLoad hammers Load with truncated, bit-flipped and adversarial
+// checkpoint bytes. The contract under test: Load must always return an
+// error on bad input — never panic, never OOM on attacker-controlled
+// lengths, and never leave the ModelState partially mutated (a recovery
+// that resumes from a half-applied checkpoint would silently diverge).
+//
+// fixCRC lets the fuzzer past the CRC trailer: when true, the trailer is
+// recomputed over the (mutated) payload so the deep parsing and structural
+// validation paths are exercised, not just the checksum reject.
+func FuzzSnapshotLoad(f *testing.F) {
+	// Seed corpus: a valid save (both modes), plus targeted corruptions.
+	for _, mode := range []Mode{Dense, SAMO} {
+		_, ms, _ := buildTestSetup(mode, 0.75, 42)
+		trainABatch(ms)
+		var buf bytes.Buffer
+		if _, err := ms.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid, false)
+		f.Add(valid[:len(valid)/2], true)   // truncated mid-parameter
+		f.Add(valid[:9], true)              // truncated in the header
+		flip := append([]byte(nil), valid...)
+		flip[len(flip)/3] ^= 0x40 // bit-flip in the payload
+		f.Add(flip, false)        // caught by CRC
+		f.Add(flip, true)         // CRC "repaired": must fail structurally or load
+		// Adversarial: huge name length with a tiny body.
+		f.Add(adversarialNameLen(), true)
+	}
+	f.Add([]byte{}, false)
+	f.Add([]byte("SAMO"), true)
+
+	_, ms, _ := buildTestSetup(SAMO, 0.75, 42)
+	trainABatch(ms)
+	before := saveBytes(f, ms)
+
+	f.Fuzz(func(t *testing.T, data []byte, fixCRC bool) {
+		if fixCRC && len(data) >= 4 {
+			payload := data[:len(data)-4]
+			fixed := make([]byte, len(data))
+			copy(fixed, payload)
+			binary.LittleEndian.PutUint32(fixed[len(payload):], crc32.ChecksumIEEE(payload))
+			data = fixed
+		}
+		err := ms.Load(bytes.NewReader(data))
+		after := saveBytes(t, ms)
+		if err != nil {
+			// Failed loads must leave the state bitwise untouched.
+			if !bytes.Equal(before, after) {
+				t.Fatal("Load returned an error but mutated the state")
+			}
+			return
+		}
+		// A successful load of fuzzer bytes is only acceptable when those
+		// bytes round-trip: the state must now serialize to exactly what was
+		// loaded (the input was a genuine checkpoint for this structure).
+		if !bytes.Equal(data, after) {
+			t.Fatal("Load accepted bytes that do not round-trip through Save")
+		}
+		before = after
+	})
+}
+
+func trainABatch(ms *ModelState) {
+	x, targets := makeBatch(8, 8, 4, 300)
+	tr := NewTrainer(ms)
+	tr.TrainStep(x, targets)
+}
+
+func saveBytes(t interface{ Fatal(...any) }, ms *ModelState) []byte {
+	var buf bytes.Buffer
+	if _, err := ms.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// adversarialNameLen builds a header-valid checkpoint whose first parameter
+// name claims to be enormous — the classic length-prefix attack.
+func adversarialNameLen() []byte {
+	var b bytes.Buffer
+	put := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
+	put(uint32(snapMagic))
+	put(uint32(snapVersion))
+	put(uint32(SAMO))
+	put(float64(1024)) // scale
+	put(uint32(0))     // good
+	put(uint32(0))     // skipped (scaler)
+	put(uint32(1))     // steps
+	put(uint32(0))     // skipped
+	put(uint32(6))          // param count (matches test MLP)
+	put(uint32(0xFFFFFFF0)) // first parameter's name length
+	put(uint32(0))          // CRC placeholder, recomputed by fixCRC
+	return b.Bytes()
+}

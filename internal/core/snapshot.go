@@ -97,62 +97,47 @@ func (ms *ModelState) Save(w io.Writer) (int64, error) {
 	return cw.n + 4, nil
 }
 
+// snapStaging holds a fully parsed and validated checkpoint before any of
+// it touches live state. Load is transactional: it parses the whole payload
+// into a staging area first, so an error at any byte leaves the ModelState
+// exactly as it was — a half-applied checkpoint is worse than none, because
+// recovery would then resume from a state no run ever produced.
+type snapStaging struct {
+	scale         float64
+	scalerGood    int
+	scalerSkipped int
+	steps         int
+	skipped       int
+	params        []snapParam
+}
+
+type snapParam struct {
+	stepCount int
+	theta32   []float32
+	opt       [][]float32
+}
+
 // Load restores a checkpoint written by Save into a structurally matching
 // ModelState (same model, same mode, same pruning result, same optimizer
 // type). Dense θ16 is reconstructed by expanding the restored θ32. The whole
-// checkpoint is read into memory to verify the CRC trailer before any state
-// is touched (checkpoints are small by construction — that is the point).
+// checkpoint is read into memory to verify the CRC trailer, then parsed in
+// full, before any state is touched (checkpoints are small by construction —
+// that is the point): on error the ModelState is bitwise unchanged.
 func (ms *ModelState) Load(r io.Reader) error {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	if len(raw) < 8 {
-		return fmt.Errorf("core: checkpoint truncated (%d bytes)", len(raw))
-	}
-	payload := raw[:len(raw)-4]
-	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return fmt.Errorf("core: checkpoint CRC mismatch (corrupt or truncated)")
-	}
-	br := bytes.NewReader(payload)
-	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
-
-	var magic, version, mode, n uint32
-	var scalerGood, scalerSkipped, steps, skipped uint32
-	var scale float64
-	if err := get(&magic); err != nil {
+	stg, err := ms.parseSnapshot(raw)
+	if err != nil {
 		return err
-	}
-	if magic != snapMagic {
-		return fmt.Errorf("core: not a SAMO checkpoint (magic %#x)", magic)
-	}
-	if err := get(&version); err != nil {
-		return err
-	}
-	if version != snapVersion {
-		return fmt.Errorf("core: unsupported checkpoint version %d", version)
-	}
-	if err := get(&mode); err != nil {
-		return err
-	}
-	if Mode(mode) != ms.Mode {
-		return fmt.Errorf("core: checkpoint mode %v does not match state mode %v", Mode(mode), ms.Mode)
-	}
-	for _, v := range []any{&scale, &scalerGood, &scalerSkipped, &steps, &skipped, &n} {
-		if err := get(v); err != nil {
-			return err
-		}
-	}
-	if int(n) != len(ms.states) {
-		return fmt.Errorf("core: checkpoint has %d parameters, state has %d", n, len(ms.states))
 	}
 
-	// Prime optimizer state vectors if absent (fresh state): a zero-grad
-	// step allocates them without moving parameters... except Adam's bias
-	// correction; instead allocate directly via a scratch step on zeros is
-	// unsafe. Require and create by stepping a zero gradient is avoided:
-	// we overwrite every value below, so a plain allocation pass suffices.
+	// --- Commit: nothing below can fail. ---
+
+	// Prime optimizer state vectors if absent (fresh state). A zero-grad
+	// step allocates them; every value is overwritten below, so only the
+	// side effect on θ32 (decay, Adam bias correction) needs undoing.
 	for _, st := range ms.states {
 		if ms.opt.States(st.p.Name) == nil {
 			zeros := make([]float32, len(st.theta32))
@@ -161,41 +146,12 @@ func (ms *ModelState) Load(r io.Reader) error {
 			copy(st.theta32, saved) // undo any decay the priming step applied
 		}
 	}
-
-	for _, st := range ms.states {
-		name, err := getString(br)
-		if err != nil {
-			return err
-		}
-		if name != st.p.Name {
-			return fmt.Errorf("core: checkpoint parameter %q does not match %q (order must be identical)", name, st.p.Name)
-		}
-		var ln, stepCount uint32
-		if err := get(&ln); err != nil {
-			return err
-		}
-		if err := get(&stepCount); err != nil {
-			return err
-		}
-		if int(ln) != len(st.theta32) {
-			return fmt.Errorf("core: %s stored length %d != %d", name, ln, len(st.theta32))
-		}
-		ms.opt.SetStepCount(st.p.Name, int(stepCount))
-		if err := getFloats(br, st.theta32); err != nil {
-			return err
-		}
-		var k uint32
-		if err := get(&k); err != nil {
-			return err
-		}
-		opt := ms.opt.States(st.p.Name)
-		if int(k) != len(opt) {
-			return fmt.Errorf("core: %s has %d optimizer vectors, checkpoint %d", name, len(opt), k)
-		}
-		for _, vec := range opt {
-			if err := getFloats(br, vec); err != nil {
-				return err
-			}
+	for i, st := range ms.states {
+		sp := &stg.params[i]
+		ms.opt.SetStepCount(st.p.Name, sp.stepCount)
+		copy(st.theta32, sp.theta32)
+		for k, vec := range ms.opt.States(st.p.Name) {
+			copy(vec, sp.opt[k])
 		}
 		// Rebuild dense θ16 from the restored master weights (§III-C's
 		// down-cast path).
@@ -212,13 +168,110 @@ func (ms *ModelState) Load(r io.Reader) error {
 		}
 		zero(st.grad16)
 	}
-	if br.Len() != 0 {
-		return fmt.Errorf("core: %d trailing bytes in checkpoint payload", br.Len())
-	}
-	ms.Scaler.Restore(scale, int(scalerGood), int(scalerSkipped))
-	ms.steps = int(steps)
-	ms.skipped = int(skipped)
+	ms.Scaler.Restore(stg.scale, stg.scalerGood, stg.scalerSkipped)
+	ms.steps = stg.steps
+	ms.skipped = stg.skipped
 	return nil
+}
+
+// parseSnapshot validates raw against this state's structure and returns the
+// staged contents. It never mutates ms.
+func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("core: checkpoint truncated (%d bytes)", len(raw))
+	}
+	payload := raw[:len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("core: checkpoint CRC mismatch (corrupt or truncated)")
+	}
+	br := bytes.NewReader(payload)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic, version, mode, n uint32
+	var scalerGood, scalerSkipped, steps, skipped uint32
+	var scale float64
+	if err := get(&magic); err != nil {
+		return nil, err
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("core: not a SAMO checkpoint (magic %#x)", magic)
+	}
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", version)
+	}
+	if err := get(&mode); err != nil {
+		return nil, err
+	}
+	if Mode(mode) != ms.Mode {
+		return nil, fmt.Errorf("core: checkpoint mode %v does not match state mode %v", Mode(mode), ms.Mode)
+	}
+	for _, v := range []any{&scale, &scalerGood, &scalerSkipped, &steps, &skipped, &n} {
+		if err := get(v); err != nil {
+			return nil, err
+		}
+	}
+	if int(n) != len(ms.states) {
+		return nil, fmt.Errorf("core: checkpoint has %d parameters, state has %d", n, len(ms.states))
+	}
+	// Optimizer vectors per parameter, derived from the optimizer type
+	// rather than States() (which is nil until primed): 4 bytes per float.
+	wantK := ms.opt.StateBytesPerParam() / 4
+
+	stg := &snapStaging{
+		scale:         scale,
+		scalerGood:    int(scalerGood),
+		scalerSkipped: int(scalerSkipped),
+		steps:         int(steps),
+		skipped:       int(skipped),
+		params:        make([]snapParam, len(ms.states)),
+	}
+	for i, st := range ms.states {
+		name, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		if name != st.p.Name {
+			return nil, fmt.Errorf("core: checkpoint parameter %q does not match %q (order must be identical)", name, st.p.Name)
+		}
+		var ln, stepCount uint32
+		if err := get(&ln); err != nil {
+			return nil, err
+		}
+		if err := get(&stepCount); err != nil {
+			return nil, err
+		}
+		if int(ln) != len(st.theta32) {
+			return nil, fmt.Errorf("core: %s stored length %d != %d", name, ln, len(st.theta32))
+		}
+		sp := &stg.params[i]
+		sp.stepCount = int(stepCount)
+		sp.theta32 = make([]float32, ln)
+		if err := getFloats(br, sp.theta32); err != nil {
+			return nil, err
+		}
+		var k uint32
+		if err := get(&k); err != nil {
+			return nil, err
+		}
+		if int(k) != wantK {
+			return nil, fmt.Errorf("core: %s has %d optimizer vectors, checkpoint %d", name, wantK, k)
+		}
+		sp.opt = make([][]float32, k)
+		for j := range sp.opt {
+			sp.opt[j] = make([]float32, ln)
+			if err := getFloats(br, sp.opt[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in checkpoint payload", br.Len())
+	}
+	return stg, nil
 }
 
 func quantizeOne(v float32) float32 {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"github.com/sparse-dl/samo/internal/fp16"
 	"github.com/sparse-dl/samo/internal/nn"
@@ -316,6 +318,29 @@ func (ms *ModelState) Memory() MemoryBreakdown {
 		b.Index += st.p.MetaBytes
 	}
 	return b
+}
+
+// Fingerprint hashes the state's structure — mode, optimizer footprint, and
+// per parameter its name, full size and stored (possibly compressed) length.
+// Two states with equal fingerprints accept each other's checkpoints; the
+// checkpoint manager stores it in the manifest so a resume against a
+// different model, optimizer or pruning configuration is refused up front
+// instead of failing byte-by-byte mid-load.
+func (ms *ModelState) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	putU64(uint64(ms.Mode))
+	putU64(uint64(ms.opt.StateBytesPerParam()))
+	for _, st := range ms.states {
+		h.Write([]byte(st.p.Name))
+		putU64(uint64(st.p.Size()))
+		putU64(uint64(len(st.theta32)))
+	}
+	return h.Sum64()
 }
 
 // Model returns the managed model.

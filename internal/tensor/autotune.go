@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/bits"
 	"os"
@@ -422,7 +423,7 @@ func LoadTuneTable(path string) error {
 	}
 	var f tuneFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return fmt.Errorf("tensor: tune table %s: %w", path, err)
+		return fmt.Errorf("tensor: tune table %s: %w: %w", path, errTuneTableParse, err)
 	}
 	tuneTable.mu.Lock()
 	if tuneTable.m == nil {
@@ -477,18 +478,44 @@ func FlushTuneTable() error {
 	return nil
 }
 
+// errTuneTableParse marks a tune table that exists but does not parse —
+// the one load failure worth quarantining at startup (I/O errors are
+// transient and the file may be fine on the next run).
+var errTuneTableParse = errors.New("unparseable tune table")
+
+// startupLoadTuneTable is the init-time pre-load with graceful degradation:
+// a corrupt table is quarantined (renamed to <path>.corrupt) so a damaged
+// cache is moved out of the way once and can never wedge startup again —
+// the probe phase rebuilds the table and the next save rewrites the file.
+// A missing file just re-probes (first run on a machine); other errors are
+// reported only when the operator pointed SAMO_GEMM_TUNE at the file,
+// because silently re-probing is exactly what the variable was set to
+// avoid. Returns the warning to log, or "" when there is nothing to say.
+func startupLoadTuneTable(path string, explicit bool) string {
+	err := LoadTuneTable(path)
+	switch {
+	case err == nil || os.IsNotExist(err):
+		return ""
+	case errors.Is(err, errTuneTableParse):
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return fmt.Sprintf("tensor: ignoring corrupt tune table (quarantine failed: %v): %v", rerr, err)
+		}
+		return fmt.Sprintf("tensor: quarantined corrupt tune table to %s; re-probing (%v)", quarantine, err)
+	case explicit:
+		return fmt.Sprintf("tensor: SAMO_GEMM_TUNE not loaded: %v", err)
+	default:
+		return ""
+	}
+}
+
 func init() {
 	explicit := os.Getenv("SAMO_GEMM_TUNE") != ""
 	path := TunePath()
 	if path == "" {
 		return
 	}
-	// A missing file just re-probes (first run on a machine). When the
-	// operator pointed SAMO_GEMM_TUNE at a file, anything else — corrupt
-	// JSON, permissions — is reported, because silently re-probing is
-	// exactly the behavior the variable was set to avoid; for the default
-	// cache path a broken table is best-effort and rebuilt silently.
-	if err := LoadTuneTable(path); err != nil && explicit && !os.IsNotExist(err) {
-		fmt.Fprintf(os.Stderr, "tensor: SAMO_GEMM_TUNE not loaded: %v\n", err)
+	if msg := startupLoadTuneTable(path, explicit); msg != "" {
+		fmt.Fprintf(os.Stderr, "%s\n", msg)
 	}
 }

@@ -1,0 +1,49 @@
+package tensor
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptTuneTableQuarantined pins the graceful-degradation contract: a
+// damaged persisted tune table must never wedge startup. The startup load
+// renames it to .corrupt, reports once, and continues with an empty table.
+func TestCorruptTuneTableQuarantined(t *testing.T) {
+	ResetTuneTable()
+	defer ResetTuneTable()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gemm_tune.json")
+
+	// A truncated file: valid JSON prefix, cut mid-document.
+	if err := os.WriteFile(path, []byte(`{"entries":[{"v":0,"mb":3,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msg := startupLoadTuneTable(path, true)
+	if !strings.Contains(msg, "quarantined") {
+		t.Fatalf("startup load of truncated table: %q, want quarantine message", msg)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt table still in place: next startup would trip on it again")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// Second startup: the file is gone, so nothing to report and nothing
+	// to load — the table simply re-probes.
+	if msg := startupLoadTuneTable(path, true); msg != "" {
+		t.Fatalf("startup after quarantine must be silent, got %q", msg)
+	}
+}
+
+func TestMissingTuneTableIsSilent(t *testing.T) {
+	ResetTuneTable()
+	defer ResetTuneTable()
+	path := filepath.Join(t.TempDir(), "absent.json")
+	for _, explicit := range []bool{false, true} {
+		if msg := startupLoadTuneTable(path, explicit); msg != "" {
+			t.Fatalf("missing table (explicit=%v) must be silent, got %q", explicit, msg)
+		}
+	}
+}

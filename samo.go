@@ -88,6 +88,31 @@
 // process-wide; scripts/bench.sh gates the ≥90%-sparsity points of the
 // BenchmarkSpMM matrix at MIN_SPMM_SPEEDUP.
 //
+// # Fault tolerance
+//
+// The parallel engine treats rank failure as a tested scenario, not an
+// exception. The communication fabric carries a poison/abort model: when a
+// rank fails (an injected FaultPlan in tests, an engine-detected error, or
+// the configurable collective deadline tripping on a stalled peer), the
+// fabric is poisoned once and every blocking primitive unwinds promptly
+// with a typed RankFailedError or DeadlineError instead of deadlocking.
+// Fault injection is deterministic — crash points are keyed to engine
+// steps and per-rank collective entry counts, message drop/delay schedules
+// to fixed counters — so every failure scenario replays identically.
+//
+// Checkpointing is crash-consistent (internal/ckpt): each pipeline stage's
+// model state is saved through temp-file+fsync+rename with a JSON manifest
+// carrying the step, a structural fingerprint and the data CRC, verified
+// by read-back; a step is durable only when every stage's shard verifies,
+// and a corrupt latest checkpoint falls back to the previous one with a
+// surfaced warning. On a fabric abort, Train tears the fabric down
+// (draining its pooled buffers), rebuilds ranks, reloads the newest
+// durable checkpoint and replays the remaining batches — the recovered
+// run's losses and θ32 are bitwise-identical to an uninterrupted run
+// (pinned by crash-at-every-step goldens under -race). ParallelConfig
+// wires it up: CheckpointDir/Every/Keep, Resume, CollectiveDeadline,
+// MaxRestarts and the test-only Fault plan.
+//
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
 // and GPT (embedding, attention, layer norm, GELU MLP) — as are the fp16
@@ -109,6 +134,7 @@ import (
 	"io"
 
 	"github.com/sparse-dl/samo/internal/axonn"
+	"github.com/sparse-dl/samo/internal/comm"
 	"github.com/sparse-dl/samo/internal/core"
 	"github.com/sparse-dl/samo/internal/experiments"
 	"github.com/sparse-dl/samo/internal/hw"
@@ -147,6 +173,13 @@ type (
 	ParallelConfig = axonn.Config
 	// ParallelResult aggregates a parallel training run.
 	ParallelResult = axonn.Result
+	// FaultPlan injects deterministic failures into the fabric (tests/chaos).
+	FaultPlan = comm.FaultPlan
+	// RankFailedError is the typed abort every blocked primitive unwinds
+	// with after a rank fails.
+	RankFailedError = comm.RankFailedError
+	// DeadlineError reports a collective exceeding CollectiveDeadline.
+	DeadlineError = comm.DeadlineError
 	// Machine is a cluster hardware profile for the simulator.
 	Machine = hw.Machine
 	// Estimate is one simulated (framework, model, GPU-count) outcome.
