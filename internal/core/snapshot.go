@@ -174,9 +174,36 @@ func (ms *ModelState) Load(r io.Reader) error {
 	return nil
 }
 
+// snapSpec is the structural identity a checkpoint must match to parse:
+// mode, optimizer vector count, and per parameter its name and stored
+// length, in order. ModelState and InferenceState both reduce to one, so
+// training and forward-only loads share a single transactional parser.
+type snapSpec struct {
+	mode   Mode
+	wantK  int
+	params []snapParamSpec
+}
+
+type snapParamSpec struct {
+	name   string
+	stored int
+}
+
 // parseSnapshot validates raw against this state's structure and returns the
 // staged contents. It never mutates ms.
 func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
+	// Optimizer vectors per parameter, derived from the optimizer type
+	// rather than States() (which is nil until primed): 4 bytes per float.
+	spec := snapSpec{mode: ms.Mode, wantK: ms.opt.StateBytesPerParam() / 4}
+	for _, st := range ms.states {
+		spec.params = append(spec.params, snapParamSpec{name: st.p.Name, stored: len(st.theta32)})
+	}
+	return parseSnapshot(raw, &spec)
+}
+
+// parseSnapshot validates raw against spec and returns the staged contents
+// without touching any live state.
+func parseSnapshot(raw []byte, spec *snapSpec) (*snapStaging, error) {
 	if len(raw) < 8 {
 		return nil, fmt.Errorf("core: checkpoint truncated (%d bytes)", len(raw))
 	}
@@ -206,20 +233,17 @@ func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
 	if err := get(&mode); err != nil {
 		return nil, err
 	}
-	if Mode(mode) != ms.Mode {
-		return nil, fmt.Errorf("core: checkpoint mode %v does not match state mode %v", Mode(mode), ms.Mode)
+	if Mode(mode) != spec.mode {
+		return nil, fmt.Errorf("core: checkpoint mode %v does not match state mode %v", Mode(mode), spec.mode)
 	}
 	for _, v := range []any{&scale, &scalerGood, &scalerSkipped, &steps, &skipped, &n} {
 		if err := get(v); err != nil {
 			return nil, err
 		}
 	}
-	if int(n) != len(ms.states) {
-		return nil, fmt.Errorf("core: checkpoint has %d parameters, state has %d", n, len(ms.states))
+	if int(n) != len(spec.params) {
+		return nil, fmt.Errorf("core: checkpoint has %d parameters, state has %d", n, len(spec.params))
 	}
-	// Optimizer vectors per parameter, derived from the optimizer type
-	// rather than States() (which is nil until primed): 4 bytes per float.
-	wantK := ms.opt.StateBytesPerParam() / 4
 
 	stg := &snapStaging{
 		scale:         scale,
@@ -227,15 +251,16 @@ func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
 		scalerSkipped: int(scalerSkipped),
 		steps:         int(steps),
 		skipped:       int(skipped),
-		params:        make([]snapParam, len(ms.states)),
+		params:        make([]snapParam, len(spec.params)),
 	}
-	for i, st := range ms.states {
+	for i := range spec.params {
+		ps := &spec.params[i]
 		name, err := getString(br)
 		if err != nil {
 			return nil, err
 		}
-		if name != st.p.Name {
-			return nil, fmt.Errorf("core: checkpoint parameter %q does not match %q (order must be identical)", name, st.p.Name)
+		if name != ps.name {
+			return nil, fmt.Errorf("core: checkpoint parameter %q does not match %q (order must be identical)", name, ps.name)
 		}
 		var ln, stepCount uint32
 		if err := get(&ln); err != nil {
@@ -244,8 +269,8 @@ func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
 		if err := get(&stepCount); err != nil {
 			return nil, err
 		}
-		if int(ln) != len(st.theta32) {
-			return nil, fmt.Errorf("core: %s stored length %d != %d", name, ln, len(st.theta32))
+		if int(ln) != ps.stored {
+			return nil, fmt.Errorf("core: %s stored length %d != %d", name, ln, ps.stored)
 		}
 		sp := &stg.params[i]
 		sp.stepCount = int(stepCount)
@@ -257,8 +282,8 @@ func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
 		if err := get(&k); err != nil {
 			return nil, err
 		}
-		if int(k) != wantK {
-			return nil, fmt.Errorf("core: %s has %d optimizer vectors, checkpoint %d", name, wantK, k)
+		if int(k) != spec.wantK {
+			return nil, fmt.Errorf("core: %s has %d optimizer vectors, checkpoint %d", name, spec.wantK, k)
 		}
 		sp.opt = make([][]float32, k)
 		for j := range sp.opt {

@@ -44,15 +44,15 @@ func (t *Trainer) TrainStep(x *tensor.Tensor, targets []int) (float64, bool) {
 	return loss, applied
 }
 
-// EvalLoss computes the mean loss on a batch without training.
+// EvalLoss computes the mean loss on a batch without training. It runs the
+// cache-free inference forward: no backward caches are built and no cache
+// pools are touched, so evaluation interleaved with training leaves the
+// pools exactly as the training steps expect them.
 func (t *Trainer) EvalLoss(x *tensor.Tensor, targets []int) float64 {
 	if t.arena == nil {
 		t.arena = tensor.NewArena()
 	}
-	if len(t.caches) != len(t.State.Model().Layers) {
-		t.caches = make([]any, len(t.State.Model().Layers))
-	}
-	y := t.State.Model().ForwardArena(t.arena, x, false, t.caches)
+	y := t.State.Model().Infer(t.arena, x)
 	loss, _ := nn.CrossEntropyArena(t.arena, y, targets)
 	t.arena.Reset()
 	return loss

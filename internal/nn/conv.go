@@ -118,7 +118,10 @@ type poolCache struct {
 var poolCaches parallel.Pool[poolCache]
 
 // Forward pools and caches argmax indices.
-func (MaxPool) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+func (mp MaxPool) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if !train {
+		return mp.Infer(a, x), nil
+	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	y := a.Get(n, c, h/2, w/2)
 	pc := poolCaches.Get()
@@ -127,12 +130,18 @@ func (MaxPool) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.T
 	}
 	pc.arg = pc.arg[:y.Len()]
 	tensor.MaxPool2x2Into(y, pc.arg, x)
-	if !train {
-		poolCaches.Put(pc)
-		return y, nil
-	}
 	pc.inShape = append(pc.inShape[:0], x.Shape()...)
 	return y, pc
+}
+
+// Infer pools without tracking argmax positions (nothing will scatter
+// gradients back), so the inference forward needs no index scratch and no
+// pool traffic.
+func (MaxPool) Infer(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	y := a.Get(n, c, h/2, w/2)
+	tensor.MaxPool2x2Into(y, nil, x)
+	return y
 }
 
 // Backward scatters gradient to argmax positions.

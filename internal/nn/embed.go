@@ -50,6 +50,9 @@ var embedCaches parallel.Pool[embedCache]
 
 // Forward looks up token and positional vectors.
 func (e *Embedding) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if !train {
+		return e.Infer(a, x), nil
+	}
 	if x.Rank() != 2 || x.Dim(1) != 1 || x.Dim(0)%e.seq != 0 {
 		panic(fmt.Sprintf("nn: Embedding(seq=%d) got %v", e.seq, x.Shape()))
 	}
@@ -76,11 +79,32 @@ func (e *Embedding) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*ten
 			row[j] = tv[j] + pv[j]
 		}
 	}
-	if !train {
-		embedCaches.Put(c)
-		return y, nil
-	}
 	return y, c
+}
+
+// Infer looks up token and positional vectors without recording the id
+// list (only Backward's scatter-add needs it), so the inference forward
+// touches no cache pool.
+func (e *Embedding) Infer(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != 1 || x.Dim(0)%e.seq != 0 {
+		panic(fmt.Sprintf("nn: Embedding(seq=%d) got %v", e.seq, x.Shape()))
+	}
+	n := x.Dim(0)
+	y := a.Get(n, e.d)
+	tok, pos := e.Tok.Value.Data(), e.Pos.Value.Data()
+	for i := 0; i < n; i++ {
+		id := int(x.Data()[i])
+		if id < 0 || id >= e.vocab {
+			panic(fmt.Sprintf("nn: token id %d out of vocab %d", id, e.vocab))
+		}
+		row := y.Data()[i*e.d : (i+1)*e.d]
+		tv := tok[id*e.d : (id+1)*e.d]
+		pv := pos[(i%e.seq)*e.d : (i%e.seq+1)*e.d]
+		for j := range row {
+			row[j] = tv[j] + pv[j]
+		}
+	}
+	return y
 }
 
 // Backward scatter-adds gradients into the embedding tables. The returned

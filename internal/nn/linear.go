@@ -140,6 +140,19 @@ func (Flatten) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.T
 	return y, c
 }
 
+// Infer flattens into an owned copy instead of a view: the windowed
+// inference runner reclaims the input's arena one layer later, so the
+// output must not alias x's storage (InferLayer's no-aliasing contract).
+func (Flatten) Infer(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	rest := 1
+	for _, d := range x.Shape()[1:] {
+		rest *= d
+	}
+	y := a.Get(x.Dim(0), rest)
+	y.CopyFrom(x)
+	return y
+}
+
 // Backward restores the original shape (a view: no copy).
 func (Flatten) Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*flattenCache)

@@ -60,6 +60,12 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // cache contents become invalid at the caller's next Arena.Reset, after the
 // optimizer step that consumed them. Backward consumes the cache exactly
 // once (cache structs are recycled through per-type pools).
+//
+// Forward with train=false is contractually cache-free: it returns a nil
+// cache and must not touch the cache pools at all — no Get that eval
+// discards, no compensating Put. Inference passes (Model.Infer, EvalLoss,
+// the serving engine) therefore leave the pools untouched; see infer.go
+// for the forward-only extension built on this contract.
 type Layer interface {
 	Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (y *tensor.Tensor, cache any)
 	Backward(a *tensor.Arena, cache any, gradOut *tensor.Tensor) *tensor.Tensor

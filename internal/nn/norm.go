@@ -34,6 +34,9 @@ var lnCaches parallel.Pool[lnCache]
 
 // Forward normalizes rows and applies γ,β.
 func (ln *LayerNorm) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	if !train {
+		return ln.Infer(a, x), nil
+	}
 	if x.Rank() != 2 || x.Dim(1) != ln.d {
 		panic(fmt.Sprintf("nn: LayerNorm(%d) got input %v", ln.d, x.Shape()))
 	}
@@ -70,12 +73,40 @@ func (ln *LayerNorm) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*te
 			yr[j] = g[j]*xh + b[j]
 		}
 	}
-	if !train {
-		c.xhat = nil
-		lnCaches.Put(c)
-		return y, nil
-	}
 	return y, c
+}
+
+// Infer normalizes rows without materializing x̂: the normalized value is
+// folded straight into the affine output, so the inference forward needs no
+// cache tensor and no pool traffic.
+func (ln *LayerNorm) Infer(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != ln.d {
+		panic(fmt.Sprintf("nn: LayerNorm(%d) got input %v", ln.d, x.Shape()))
+	}
+	n, d := x.Dim(0), ln.d
+	y := a.Get(n, d)
+	g, b := ln.Gamma.Value.Data(), ln.Beta.Value.Data()
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varr float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			varr += dv * dv
+		}
+		varr /= float64(d)
+		is := float32(1 / math.Sqrt(varr+normEps))
+		yr := y.Data()[i*d : (i+1)*d]
+		for j, v := range row {
+			xh := (v - float32(mean)) * is
+			yr[j] = g[j]*xh + b[j]
+		}
+	}
+	return y
 }
 
 // Backward computes input, γ and β gradients with the standard LayerNorm

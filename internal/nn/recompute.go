@@ -49,6 +49,14 @@ func (r Recompute) Forward(a *tensor.Arena, x *tensor.Tensor, train bool) (*tens
 	return y, c
 }
 
+// Infer unwraps to the inner layer's inference forward: checkpointing only
+// exists to bound backward-pass memory, so forward-only execution sees
+// straight through it (and inherits the inner layer's no-aliasing
+// contract, e.g. a wrapped Flatten still copies).
+func (r Recompute) Infer(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return InferForward(r.Inner, a, x)
+}
+
 // Backward re-runs the inner forward in training mode to rebuild the cache,
 // then differentiates through it. The recomputed activations come from the
 // same arena and are reclaimed at the caller's next Reset.

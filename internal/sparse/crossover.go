@@ -143,6 +143,10 @@ func (e *XoverEntry) Record(c XoverChoice, d time.Duration, work int) {
 			win = XoverDense
 		}
 		e.chosen.Store(int32(win))
+		// A freeze in this process is the one event worth persisting;
+		// disk-loaded entries arrive already frozen and never reach here.
+		xoverDirty.Store(true)
+		scheduleXoverSave()
 	}
 	e.mu.Unlock()
 }
@@ -192,11 +196,14 @@ func SetXover(mode string) (prev string, err error) {
 	return prev, nil
 }
 
-// ResetXover clears all frozen decisions (tests and benchmarks re-probing).
+// ResetXover clears all frozen decisions (tests and benchmarks re-probing)
+// and drops any pending persistence — decisions that no longer exist must
+// not be flushed over the on-disk table.
 func ResetXover() {
 	xoverTable.mu.Lock()
 	xoverTable.m = nil
 	xoverTable.mu.Unlock()
+	xoverDirty.Store(false)
 }
 
 // XoverDecide resolves the execution path for one sparse-vs-dense product

@@ -283,14 +283,15 @@ func MaxPool2x2(in *Tensor) (*Tensor, []int32) {
 }
 
 // MaxPool2x2Into pools into an existing output tensor and argmax slice
-// (len = out.Len()) without allocating.
+// (len = out.Len()) without allocating. A nil arg skips argmax tracking —
+// the forward-only form for inference, where no backward will scatter.
 func MaxPool2x2Into(out *Tensor, arg []int32, in *Tensor) {
 	if in.Rank() != 4 {
 		panic("tensor: MaxPool2x2 requires NCHW input")
 	}
 	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
 	oh, ow := h/2, w/2
-	if out.Len() != n*c*oh*ow || len(arg) != out.Len() {
+	if out.Len() != n*c*oh*ow || (arg != nil && len(arg) != out.Len()) {
 		panic("tensor: MaxPool2x2Into size mismatch")
 	}
 	for img := 0; img < n; img++ {
@@ -310,7 +311,9 @@ func MaxPool2x2Into(out *Tensor, arg []int32, in *Tensor) {
 						}
 					}
 					out.data[outOff+oy*ow+ox] = bv
-					arg[outOff+oy*ow+ox] = int32(best)
+					if arg != nil {
+						arg[outOff+oy*ow+ox] = int32(best)
+					}
 				}
 			}
 		}

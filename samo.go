@@ -86,7 +86,40 @@
 // (the two paths differ in summation order, so flipping mid-training would
 // perturb results). SAMO_SPARSE_XOVER=sparse|dense pins the path
 // process-wide; scripts/bench.sh gates the ≥90%-sparsity points of the
-// BenchmarkSpMM matrix at MIN_SPMM_SPEEDUP.
+// BenchmarkSpMM matrix at MIN_SPMM_SPEEDUP. Like the GEMM blockings,
+// frozen crossover decisions persist under the user cache dir
+// (samo/sparse_xover.json, next to gemm_tune.json; SAMO_SPARSE_XOVER_TABLE
+// overrides the path, "off" disables) via the same debounced background
+// save, startup pre-load and corrupt-file quarantine — so a serving
+// process inherits its training run's execution paths instead of spending
+// its first requests probing; FlushXoverTable persists synchronously at
+// cmd exit.
+//
+// # Serving
+//
+// The training stack has a forward-only twin for inference. Every layer's
+// eval forward is contractually cache-free, and Model.Infer /
+// Model.InferWindowed run it against arenas sized to the forward working
+// set — the windowed runner ping-pongs activations between two arenas so
+// peak residency is one layer's input plus its output, at 0 allocs/op in
+// steady state. InferenceState is the state-side counterpart: it holds
+// fp16-grid resident weights only — no gradients, no master θ32 copies, no
+// optimizer moments, no reduce buffers — so its Memory() ledger is the 2φ
+// θ16 line alone (InferenceBreakdown), while sharing ModelState's
+// fingerprint, so a training checkpoint loads straight into inference mode
+// through internal/ckpt with tag, fingerprint and CRC verification (and
+// its Load is transactional like ModelState's). Inferencer owns the two
+// arenas for a single-goroutine serving loop.
+//
+// cmd/samo-serve puts it behind dynamic micro-batching (internal/serve):
+// concurrent single-sample requests gather into padded power-of-two
+// batches keyed like the GEMM autotuner's buckets, a bounded admission
+// queue converts overload into immediate backpressure (ErrOverloaded), and
+// Close drains gracefully and flushes both autotuner tables. The engine's
+// determinism contract is batch-composition independence — under the
+// default fixed-bucket padding a response's bits depend only on the
+// sample, never on the traffic sharing its batch — and its load-test
+// harness records p50/p99 latency and throughput to BENCH_serving.json.
 //
 // # Fault tolerance
 //
@@ -186,6 +219,12 @@ type (
 	Estimate = simulate.Result
 	// MemoryBreakdown itemizes model-state bytes by component.
 	MemoryBreakdown = core.MemoryBreakdown
+	// InferenceState holds forward-only resident weights (θ16 grid, no
+	// gradients or optimizer state) and loads training checkpoints.
+	InferenceState = core.InferenceState
+	// Inferencer runs cache-free forwards over an InferenceState at
+	// 0 allocs/op (single goroutine; serve.Engine adds micro-batching).
+	Inferencer = core.Inferencer
 )
 
 // Storage modes.
@@ -225,6 +264,16 @@ func LoadTuneTable(path string) error { return tensor.LoadTuneTable(path) }
 // rewritten, so a stale startup copy cannot clobber a concurrent
 // process's newer save).
 func FlushTuneTable() error { return tensor.FlushTuneTable() }
+
+// FlushXoverTable is FlushTuneTable's sparse-execution companion: it
+// synchronously persists the sparse/dense crossover decisions frozen in
+// this process to the default table path (SAMO_SPARSE_XOVER_TABLE, or
+// samo/sparse_xover.json under the user cache dir). The same dirty-flag
+// discipline applies — a process that froze nothing new writes nothing.
+// Unlike the GEMM blockings the two crossover paths are not bitwise
+// identical, so persistence also pins execution paths across processes:
+// a model served tomorrow runs the paths it trained on today.
+func FlushXoverTable() error { return sparse.FlushXoverTable() }
 
 // NewTensor returns a zero-filled tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
@@ -336,6 +385,22 @@ func NewState(m *Model, opt Optimizer, mode Mode, pr *PruneResult) *State {
 // NewTrainer returns a single-process trainer over a state.
 func NewTrainer(s *State) *Trainer { return core.NewTrainer(s) }
 
+// NewInferenceState wraps a model for forward-only serving: weights are
+// masked and snapped to the fp16 grid, gradient tensors are released, and
+// no optimizer state or reduce buffers ever exist — Memory() is the 2φ θ16
+// line alone. It shares NewState's fingerprint for the same (model,
+// optimizer, mode, pruning) identity, so a training checkpoint saved with
+// SaveState (or internal/ckpt) loads directly via its Load; Save refuses.
+func NewInferenceState(m *Model, opt Optimizer, mode Mode, pr *PruneResult) *InferenceState {
+	return core.NewInferenceState(m, opt, mode, pr)
+}
+
+// NewInferencer returns a forward-only runner over an inference state:
+// Forward(x) is bitwise-identical to the model's eval forward and performs
+// zero heap allocations in steady state. Not concurrency-safe — wrap it in
+// internal/serve's engine (cmd/samo-serve) for concurrent callers.
+func NewInferencer(s *InferenceState) *Inferencer { return core.NewInferencer(s) }
+
 // SaveState writes a checkpoint of the full training state (compressed θ32,
 // optimizer moments, loss-scaler) to w — SAMO checkpoints shrink with the
 // same (24p−6)φ arithmetic as resident memory. It returns the byte count.
@@ -373,6 +438,10 @@ func DefaultModelStateBytes(params int64) int64 { return core.DefaultModelStateB
 func SAMOModelStateBytes(params int64, sparsity float64) int64 {
 	return core.SAMOModelStateBytes(params, sparsity)
 }
+
+// InferenceModelStateBytes returns the forward-only resident footprint:
+// the 2φ θ16 line alone (no gradients, master copies or optimizer states).
+func InferenceModelStateBytes(params int64) int64 { return core.InferenceBreakdown(params).Total() }
 
 // MemorySavingsPercent returns the relative saving 100·(24p−6)/20.
 func MemorySavingsPercent(sparsity float64) float64 { return core.SavingsPercent(sparsity) }

@@ -43,6 +43,14 @@
 # downgrades to a warning automatically; shared multi-core CI sets
 # MIN_COL2IM_SPEEDUP=1.2 for the same noise reasons as the GEMM floor.
 #
+# Finally it exercises the serving path end to end: a samo-serve smoke run
+# (concurrent requests verified bitwise against the offline inference
+# forward) followed by a load test whose p50/p99 latency and throughput
+# land in BENCH_serving.json. The p99 floor (MAX_SERVE_P99_MS, default
+# 25ms for the tiny benchmark model) is warn-only on single-CPU machines,
+# where the batching engine and its clients contend for one core and
+# latency measures the scheduler, not the engine.
+#
 # Usage: scripts/bench.sh [benchtime]   (default 2s; raise for stabler
 # numbers, or pass e.g. 3x for a quick smoke run — count-based benchtimes
 # are too noisy for the regression gate, which then only warns)
@@ -266,6 +274,34 @@ if s_failures:
            "\n  ".join(s_failures) +
            "\n(at >=90% sparsity the pruned FLOPs must convert to time; "
            "do not ship the sparse path below the floor)")
+    if gate and (os.cpu_count() or 1) > 1:
+        sys.exit(msg)
+    reason = "single CPU" if (os.cpu_count() or 1) <= 1 else "count-based benchtime"
+    print("WARNING (not gating, %s):\n%s" % (reason, msg))
+EOF
+
+echo "running serving smoke + load test..." >&2
+SERVE_OUT="BENCH_serving.json"
+MAX_SERVE_P99_MS="${MAX_SERVE_P99_MS:-25}"
+# Smoke first: every served response must be bitwise-identical to the
+# offline inference forward at the serving geometry — a perf number from an
+# engine that serves wrong bits would be meaningless.
+go run ./cmd/samo-serve -mode smoke -model gpt -requests 48 -concurrency 8 >&2
+go run ./cmd/samo-serve -mode loadtest -model gpt -requests 400 -concurrency 12 \
+    -out "$SERVE_OUT" >&2
+
+python3 - "$SERVE_OUT" "$MAX_SERVE_P99_MS" "$GATE" <<'EOF'
+import json, os, sys
+
+rep = json.load(open(sys.argv[1]))
+max_p99 = float(sys.argv[2])
+gate = sys.argv[3] == "1"
+print("serving: p50 %.3f ms, p99 %.3f ms, %.0f req/s (mean batch %.2f)"
+      % (rep["p50_ms"], rep["p99_ms"], rep["throughput_rps"], rep["mean_batch"]))
+if rep["p99_ms"] > max_p99:
+    msg = ("serving p99 latency %.3f ms exceeds the %.1f ms floor "
+           "(batching window is 200us; a p99 this high means the engine "
+           "is queueing, not batching)" % (rep["p99_ms"], max_p99))
     if gate and (os.cpu_count() or 1) > 1:
         sys.exit(msg)
     reason = "single CPU" if (os.cpu_count() or 1) <= 1 else "count-based benchtime"
