@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	samo "github.com/sparse-dl/samo"
 	"github.com/sparse-dl/samo/internal/data"
@@ -52,6 +53,10 @@ func run(args []string, out io.Writer) error {
 	ckptKeep := fs.Int("checkpoint-keep", 2, "complete checkpoints to retain")
 	resume := fs.Bool("resume", false, "resume from the newest verified checkpoint in -checkpoint-dir")
 	deadline := fs.Duration("deadline", 0, "collective deadline (failure backstop detector; 0 = off)")
+	transport := fs.String("transport", "local", "fabric transport: local (in-process) or tcp (multi-process)")
+	peers := fs.String("peers", "", "comma-separated listen addresses, one per process (tcp transport)")
+	proc := fs.Int("proc", 0, "this process's index into -peers (tcp transport)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "tcp mesh build timeout, incl. waiting for restarted peers (0 = transport default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -92,11 +97,28 @@ func run(args []string, out io.Writer) error {
 		Resume:             *resume,
 		CollectiveDeadline: *deadline,
 	}
+	switch *transport {
+	case "local":
+		if *peers != "" {
+			return errors.New("-peers requires -transport tcp")
+		}
+	case "tcp":
+		if *peers == "" {
+			return errors.New("-transport tcp requires -peers")
+		}
+		pcfg.Net = &samo.NetConfig{
+			Peers:       strings.Split(*peers, ","),
+			Proc:        *proc,
+			DialTimeout: *dialTimeout,
+		}
+	default:
+		return fmt.Errorf("unknown -transport %q (want local or tcp)", *transport)
+	}
 	if pcfg.Ginter > len(build().Layers) {
 		return fmt.Errorf("ginter %d exceeds %d layers", pcfg.Ginter, len(build().Layers))
 	}
-	fmt.Fprintf(out, "training %s on %d virtual GPUs (Ginter=%d × Gdata=%d), mode=%v\n",
-		cfg.Name, pcfg.GPUs(), pcfg.Ginter, pcfg.Gdata, mode)
+	fmt.Fprintf(out, "training %s on %d virtual GPUs (Ginter=%d × Gdata=%d), mode=%v, transport=%s\n",
+		cfg.Name, pcfg.GPUs(), pcfg.Ginter, pcfg.Gdata, mode, *transport)
 
 	res := samo.Train(pcfg, build, func() samo.Optimizer { return samo.NewAdamW(3e-3, 0.01) },
 		ticket, batches)
@@ -109,15 +131,19 @@ func run(args []string, out io.Writer) error {
 	if res.StartBatch > 0 {
 		fmt.Fprintf(out, "resumed from checkpoint step %d\n", res.StartBatch)
 	}
-	for i, l := range res.Losses {
-		if i < res.StartBatch {
-			continue // not trained in this process; no loss to report
+	// Losses are recorded by the data-group-0 last-stage rank; under the tcp
+	// transport only the process hosting that rank has them to report.
+	if res.Fabric.IsLocal(pcfg.Ginter - 1) {
+		for i, l := range res.Losses {
+			if i < res.StartBatch {
+				continue // not trained in this process; no loss to report
+			}
+			if i%10 == 0 || i == len(res.Losses)-1 {
+				fmt.Fprintf(out, "iter %4d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
+			}
 		}
-		if i%10 == 0 || i == len(res.Losses)-1 {
-			fmt.Fprintf(out, "iter %4d  loss %.4f  ppl %8.2f\n", i, l, nn.Perplexity(l))
-		}
+		fmt.Fprintf(out, "skipped steps (loss-scale overflow): %d\n", res.SkippedSteps)
 	}
-	fmt.Fprintf(out, "skipped steps (loss-scale overflow): %d\n", res.SkippedSteps)
 	fmt.Fprintf(out, "p2p elements moved: %d; collective elements: %d\n",
 		res.Fabric.TotalP2PElements(), res.Fabric.TotalCollElements())
 	return nil

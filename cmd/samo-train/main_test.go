@@ -1,7 +1,9 @@
 package main
 
 import (
+	"net"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -71,6 +73,64 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 	if !strings.Contains(got, "iter    7") {
 		t.Fatalf("resumed run missing final iteration report:\n%s", got)
+	}
+}
+
+// TestRunTransportFlags pins the transport flag surface: unknown transports
+// and inconsistent -peers usage fail before any training starts.
+func TestRunTransportFlags(t *testing.T) {
+	for _, tc := range []struct{ args, want string }{
+		{"-transport carrier-pigeon", "unknown -transport"},
+		{"-transport tcp", "requires -peers"},
+		{"-peers localhost:1234,localhost:1235", "requires -transport tcp"},
+	} {
+		var buf strings.Builder
+		err := run(strings.Fields(tc.args), &buf)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("run(%s): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestRunTCPTransport drives the command end to end over the TCP transport:
+// two run() invocations (one per process index) form a loopback mesh and
+// train data-parallel. Only the process hosting the loss-writer rank prints
+// iteration lines.
+func TestRunTCPTransport(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		ln.Close()
+	}
+	base := []string{"-iters", "3", "-ginter", "1", "-gdata", "2", "-hidden", "16",
+		"-layers", "1", "-transport", "tcp", "-peers", strings.Join(addrs, ","),
+		"-dial-timeout", "30s", "-proc"}
+
+	outs := make([]strings.Builder, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = run(append(append([]string{}, base...), []string{"0", "1"}[p]), &outs[p])
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < 2; p++ {
+		if errs[p] != nil {
+			t.Fatalf("proc %d: %v\noutput:\n%s", p, errs[p], outs[p].String())
+		}
+	}
+	if got := outs[0].String(); !strings.Contains(got, "transport=tcp") || !strings.Contains(got, "iter") {
+		t.Errorf("proc 0 output missing training report:\n%s", got)
+	}
+	if got := outs[1].String(); strings.Contains(got, "iter ") {
+		t.Errorf("proc 1 hosts no loss-writer rank but printed iteration lines:\n%s", got)
 	}
 }
 

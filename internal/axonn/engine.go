@@ -28,6 +28,7 @@ import (
 
 	"github.com/sparse-dl/samo/internal/ckpt"
 	"github.com/sparse-dl/samo/internal/comm"
+	"github.com/sparse-dl/samo/internal/comm/tcp"
 	"github.com/sparse-dl/samo/internal/core"
 	"github.com/sparse-dl/samo/internal/nn"
 	"github.com/sparse-dl/samo/internal/optim"
@@ -79,6 +80,27 @@ type Config struct {
 	// (rank failure or deadline). 0 means the default of 2; negative
 	// disables recovery so the first abort surfaces as Result.Err.
 	MaxRestarts int
+
+	// Net, when non-nil, runs the fabric over TCP across multiple
+	// cooperating processes instead of in-process channels. This process
+	// hosts only its contiguous rank block; checkpointing and Resume
+	// require CheckpointDir on a filesystem shared by all processes.
+	Net *NetConfig
+}
+
+// NetConfig describes a multi-process TCP fabric (see internal/comm/tcp).
+// Every process of the run must pass identical Peers and an identical
+// training Config apart from Proc.
+type NetConfig struct {
+	// Peers lists one listen address per process; the fabric's ranks are
+	// split into contiguous blocks over the processes in this order.
+	Peers []string
+	// Proc is this process's index into Peers.
+	Proc int
+	// DialTimeout bounds fabric construction per attempt, including the
+	// wait for a crashed peer process to be restarted during recovery
+	// (0 = the transport default of 15s).
+	DialTimeout time.Duration
 }
 
 // tag names the training configuration for the checkpoint manifest: a
@@ -217,7 +239,11 @@ func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches
 	res.Losses = make([]float64, len(batches))
 
 	for attempt := 0; ; attempt++ {
-		f := comm.NewFabric(cfg.GPUs())
+		f, ferr := newFabric(cfg)
+		if ferr != nil {
+			res.Err = ferr
+			return res
+		}
 		if attempt == 0 {
 			f.InjectFaults(cfg.Fault)
 		}
@@ -228,6 +254,9 @@ func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches
 		errs := make([]error, cfg.GPUs())
 		var wg sync.WaitGroup
 		for r := 0; r < cfg.GPUs(); r++ {
+			if !f.IsLocal(r) {
+				continue // hosted by a peer process
+			}
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
@@ -246,24 +275,42 @@ func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches
 		}
 		wg.Wait()
 
-		err := f.Err()
+		// Success is judged by the local workers, not the fabric: once every
+		// local rank has trained every batch the attempt is complete, and a
+		// poison arriving afterwards is teardown noise — over TCP, a peer
+		// process that finishes first and exits EOFs its sockets, which must
+		// not turn a completed run into a spurious restart. The fabric error
+		// is consulted only when a worker actually failed, because it records
+		// the first (root-cause) poison rather than a secondary unwind.
+		var err error
 		for _, e := range errs {
-			if err != nil {
+			if e != nil {
+				err = e
 				break
 			}
-			err = e
+		}
+		if err != nil {
+			if fe := f.Err(); fe != nil {
+				err = fe
+			}
 		}
 		if err == nil {
 			res.Fabric = f
-			loss := workers[lastStageRank(cfg, 0)]
-			res.SkippedSteps = loss.state.SkippedSteps()
+			if lw := workers[lastStageRank(cfg, 0)]; lw != nil {
+				res.SkippedSteps = lw.state.SkippedSteps()
+			}
+			res.StageStates = make([][]byte, cfg.Ginter)
 			for stage := 0; stage < cfg.Ginter; stage++ {
+				w := workers[stage] // data-group-0 replica of this stage
+				if w == nil {
+					continue // lives in a peer process
+				}
 				var buf bytes.Buffer
-				if _, serr := workers[stage].state.Save(&buf); serr != nil {
+				if _, serr := w.state.Save(&buf); serr != nil {
 					res.Err = serr
 					return res
 				}
-				res.StageStates = append(res.StageStates, buf.Bytes())
+				res.StageStates[stage] = buf.Bytes()
 			}
 			return res
 		}
@@ -285,6 +332,26 @@ func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches
 			}
 		}
 	}
+}
+
+// newFabric builds the attempt's fabric: in-process channels by default, a
+// fresh TCP mesh per attempt when cfg.Net is set — recovery replaces the
+// connections along with the fabric, waiting (within DialTimeout) for a
+// killed peer process to be restarted and re-dial.
+func newFabric(cfg Config) (*comm.Fabric, error) {
+	if cfg.Net == nil {
+		return comm.NewFabric(cfg.GPUs()), nil
+	}
+	tr, err := tcp.Connect(tcp.Config{
+		Addrs:       cfg.Net.Peers,
+		Proc:        cfg.Net.Proc,
+		Ranks:       cfg.GPUs(),
+		DialTimeout: cfg.Net.DialTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("axonn: building tcp fabric: %w", err)
+	}
+	return comm.NewFabricOver(tr), nil
 }
 
 // recoverable reports whether err is a fabric abort that a restart can heal
@@ -319,6 +386,17 @@ func validate(cfg Config, batches []Batch) error {
 	}
 	if cfg.Resume && cfg.CheckpointDir == "" {
 		return fmt.Errorf("axonn: Resume requires CheckpointDir")
+	}
+	if net := cfg.Net; net != nil {
+		if len(net.Peers) < 1 {
+			return fmt.Errorf("axonn: Net.Peers is empty")
+		}
+		if net.Proc < 0 || net.Proc >= len(net.Peers) {
+			return fmt.Errorf("axonn: Net.Proc %d outside [0,%d)", net.Proc, len(net.Peers))
+		}
+		if cfg.GPUs() < len(net.Peers) {
+			return fmt.Errorf("axonn: %d ranks cannot cover %d processes", cfg.GPUs(), len(net.Peers))
+		}
 	}
 	return nil
 }
@@ -418,6 +496,17 @@ func min(a, b int) int {
 // at step i+1 captures the state after batch i. losses is indexed by global
 // batch and written only by the data-group-0 last-stage rank.
 func (w *worker) runFrom(batches []Batch, start int, mgr *ckpt.Manager, every int, losses []float64) error {
+	if w.rk.RemotePeers() {
+		// Multi-process run: the processes may briefly disagree about the
+		// newest durable checkpoint (a peer can die between its own save
+		// and ours). Rank 0 broadcasts the authoritative start step so
+		// every process resumes from the same batch.
+		w.flagBuf[0] = float32(start)
+		if err := w.rk.Broadcast(w.allRanks, 0, w.flagBuf); err != nil {
+			return err
+		}
+		start = int(w.flagBuf[0])
+	}
 	if start > 0 {
 		if err := mgr.Load(start, w.stage, w.state); err != nil {
 			return w.rk.Fail(err)

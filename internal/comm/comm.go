@@ -1,6 +1,6 @@
-// Package comm is the in-process communication fabric standing in for
-// NCCL/MPI on Summit: one goroutine per rank, channels as links. It provides
-// the two communication patterns the paper optimizes —
+// Package comm is the communication fabric standing in for NCCL/MPI on
+// Summit: one goroutine per rank, a pluggable Transport as the links. It
+// provides the two communication patterns the paper optimizes —
 //
 //   - asynchronous point-to-point messaging with a per-rank inbox (AxoNN's
 //     message-driven scheduling reads whatever activation/gradient arrives
@@ -8,8 +8,10 @@
 //   - ring-based collectives (all-reduce, reduce-scatter, all-gather,
 //     broadcast, barrier) used by data parallelism.
 //
-// Every rank records the bytes it moved, so experiments can attribute
-// communication volume exactly.
+// The default transport is the in-process channel mesh (LocalTransport);
+// internal/comm/tcp supplies a multi-process wire transport with identical
+// semantics (see transport.go). Every rank records the bytes it moved, so
+// experiments can attribute communication volume exactly.
 package comm
 
 import (
@@ -147,11 +149,11 @@ type Stats struct {
 // Poison/Fail — after which every blocking primitive returns the poison
 // error instead of waiting on dead peers.
 type Fabric struct {
-	n     int
-	data  []chan Message
-	coll  []chan collMsg
-	stats []Stats
-	bufs  bufPool
+	n      int
+	tr     Transport
+	remote bool // any rank not local to this process
+	stats  []Stats
+	bufs   bufPool
 
 	// Poison state: one-way, first error wins (fault.go).
 	poisonOnce sync.Once
@@ -163,51 +165,58 @@ type Fabric struct {
 	deadlineNs atomic.Int64
 
 	// Armed fault plan (nil-equivalent when faulty is false).
-	faulty       bool
-	crashAtStep  []int // per rank, -1 = never
-	crashAtOp    []int
-	dropEvery    int
-	delayEvery   int
-	faultSeed    uint64
-	p2pSeen      atomic.Int64
-	delayMu      sync.Mutex
-	delayed      []*Message // per destination, at most one held-back message
+	faulty      bool
+	crashAtStep []int // per rank, -1 = never
+	crashAtOp   []int
+	dropEvery   int
+	delayEvery  int
+	faultSeed   uint64
+	p2pSeen     atomic.Int64
+	delayMu     sync.Mutex
+	delayed     []*Message // per destination, at most one held-back message
 }
 
-type collMsg struct {
-	from int
-	tag  int
-	data []float32
-}
-
-// NewFabric creates a fabric with n ranks and generous channel buffering
-// (sends are asynchronous until the buffer fills, mirroring NCCL's eager
-// protocol for small messages).
+// NewFabric creates an in-process fabric with n ranks and generous channel
+// buffering (sends are asynchronous until the buffer fills, mirroring
+// NCCL's eager protocol for small messages).
 func NewFabric(n int) *Fabric {
+	return NewFabricOver(NewLocalTransport(n))
+}
+
+// NewFabricOver creates a fabric on an explicit transport (the channel mesh
+// via NewLocalTransport, or a wire transport such as tcp.Connect). The
+// fabric takes ownership: Fabric.Close tears the transport down.
+func NewFabricOver(tr Transport) *Fabric {
+	n := tr.Size()
 	if n < 1 {
 		panic("comm: fabric needs at least one rank")
 	}
 	f := &Fabric{n: n,
-		data:     make([]chan Message, n),
-		coll:     make([]chan collMsg, n),
+		tr:       tr,
 		stats:    make([]Stats, n),
 		poisonCh: make(chan struct{}),
 	}
-	for i := range f.data {
-		f.data[i] = make(chan Message, 4096)
-		f.coll[i] = make(chan collMsg, 4096)
+	for r := 0; r < n; r++ {
+		if !tr.IsLocal(r) {
+			f.remote = true
+			break
+		}
 	}
+	tr.Attach(f)
 	return f
 }
 
 // Size returns the number of ranks.
 func (f *Fabric) Size() int { return f.n }
 
-// Rank returns the handle for rank r. Each handle must be used by a single
-// goroutine.
+// Rank returns the handle for rank r, which must be local to this process's
+// transport. Each handle must be used by a single goroutine.
 func (f *Fabric) Rank(r int) *Rank {
 	if r < 0 || r >= f.n {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, f.n))
+	}
+	if !f.tr.IsLocal(r) {
+		panic(fmt.Sprintf("comm: rank %d is not local to this process's transport", r))
 	}
 	return &Rank{f: f, r: r, step: -1, pending: make(map[pendKey]*pendQueue)}
 }
@@ -239,23 +248,40 @@ type pendKey struct {
 
 // pendQueue is a FIFO of out-of-order collective messages. It reuses its
 // backing array (head index instead of re-slicing) so transient reordering
-// does not allocate in steady state.
+// does not allocate in steady state, and compacts the live tail to the
+// front once the dead prefix dominates, so a queue that never fully drains
+// (steady push/pop interleave) cannot grow its backing array without
+// bound.
 type pendQueue struct {
-	items []collMsg
+	items []CollFrame
 	head  int
 }
 
-func (q *pendQueue) push(m collMsg) { q.items = append(q.items, m) }
+// pendCompactMin is the dead-prefix length below which pop skips
+// compaction: tiny queues reset for free when they drain, and compacting
+// every pop would turn the O(1) head-index pop back into O(n) shifting.
+const pendCompactMin = 32
 
-func (q *pendQueue) pop() (collMsg, bool) {
+func (q *pendQueue) push(m CollFrame) { q.items = append(q.items, m) }
+
+func (q *pendQueue) pop() (CollFrame, bool) {
 	if q.head >= len(q.items) {
-		return collMsg{}, false
+		return CollFrame{}, false
 	}
 	m := q.items[q.head]
-	q.items[q.head] = collMsg{}
+	q.items[q.head] = CollFrame{}
 	q.head++
-	if q.head == len(q.items) {
+	switch {
+	case q.head == len(q.items):
 		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= pendCompactMin && q.head*2 >= len(q.items):
+		// Dead prefix is at least half the array and worth reclaiming:
+		// move the live tail down. Amortized O(1) — a compaction of k
+		// moves is paid for by the >=k pops that created the prefix.
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
 		q.head = 0
 	}
 	return m, true
@@ -269,8 +295,8 @@ type Rank struct {
 	r       int
 	pending map[pendKey]*pendQueue
 	seq     int
-	step    int // current engine step (BeginStep), for failure attribution
-	ops     int // collective entries so far, for CrashAtOp fault points
+	step    int       // current engine step (BeginStep), for failure attribution
+	ops     int       // collective entries so far, for CrashAtOp fault points
 	scratch []float32 // reusable single-element buffer (barriers, flags)
 	bounds  []int     // reusable chunk-boundary scratch for ring collectives
 }
@@ -339,18 +365,13 @@ func (rk *Rank) Send(to int, tag Tag, mb int, data []float32, shape ...int) erro
 }
 
 func (rk *Rank) deliver(to int, msg Message) error {
-	select {
-	case rk.f.data[to] <- msg:
-		return nil
-	case <-rk.f.poisonCh:
-		return rk.f.Err()
-	}
+	return rk.f.tr.SendData(to, msg)
 }
 
 // Inbox returns the data-plane receive channel: the heart of message-driven
 // scheduling. The engine blocks on it and processes whatever arrives.
 // Prefer Recv, which also unwinds on fabric poison and deadline.
-func (rk *Rank) Inbox() <-chan Message { return rk.f.data[rk.r] }
+func (rk *Rank) Inbox() <-chan Message { return rk.f.tr.DataCh(rk.r) }
 
 // Recv blocks for the next data-plane message. It returns the poison error
 // as soon as the fabric dies (messages already queued are not drained), and
@@ -367,7 +388,7 @@ func (rk *Rank) Recv() (Message, error) {
 		timeout = timer.C
 	}
 	select {
-	case m := <-rk.f.data[rk.r]:
+	case m := <-rk.f.tr.DataCh(rk.r):
 		return m, nil
 	case <-rk.f.poisonCh:
 		return Message{}, rk.f.Err()
@@ -385,19 +406,14 @@ func (rk *Rank) Recv() (Message, error) {
 // channel with (from, tag) matching so concurrent groups cannot interfere.
 
 func (rk *Rank) sendColl(to, tag int, data []float32) error {
-	select {
-	case rk.f.coll[to] <- collMsg{from: rk.r, tag: tag, data: data}:
-		return nil
-	case <-rk.f.poisonCh:
-		return rk.f.Err()
-	}
+	return rk.f.tr.SendColl(to, CollFrame{From: rk.r, Tag: tag, Data: data})
 }
 
 func (rk *Rank) recvColl(from, tag int) ([]float32, error) {
 	k := pendKey{from, tag}
 	if q := rk.pending[k]; q != nil {
 		if m, ok := q.pop(); ok {
-			return m.data, nil
+			return m.Data, nil
 		}
 	}
 	var timeout <-chan time.Time
@@ -412,11 +428,11 @@ func (rk *Rank) recvColl(from, tag int) ([]float32, error) {
 			return nil, err
 		}
 		select {
-		case m := <-rk.f.coll[rk.r]:
-			if m.from == from && m.tag == tag {
-				return m.data, nil
+		case m := <-rk.f.tr.CollCh(rk.r):
+			if m.From == from && m.Tag == tag {
+				return m.Data, nil
 			}
-			mk := pendKey{m.from, m.tag}
+			mk := pendKey{m.From, m.Tag}
 			q := rk.pending[mk]
 			if q == nil {
 				q = &pendQueue{}

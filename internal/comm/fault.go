@@ -130,6 +130,10 @@ func (f *Fabric) Poison(err error) {
 		f.poisonErr = err
 		f.poisoned.Store(true)
 		close(f.poisonCh)
+		// Remote peers don't share poisonCh; tell them (best effort,
+		// no-op on the local transport). After close(poisonCh) so local
+		// unwinding never waits on the wire.
+		f.tr.PropagatePoison(err)
 	})
 }
 
@@ -142,11 +146,13 @@ func (f *Fabric) Err() error {
 }
 
 // Close tears the fabric down: it poisons the fabric (with ErrFabricClosed
-// if still healthy) so any straggling rank unwinds, and drains the pooled
-// collective buffers so a replaced fabric's memory is reclaimed promptly.
-// Channels need no explicit teardown; they die with the fabric.
+// if still healthy — an earlier failure's error is never masked) so any
+// straggling rank unwinds, closes the transport's connections and
+// listeners, and drains the pooled collective buffers so a replaced
+// fabric's memory is reclaimed promptly.
 func (f *Fabric) Close() {
 	f.Poison(ErrFabricClosed)
+	f.tr.Close()
 	f.bufs.drain()
 }
 

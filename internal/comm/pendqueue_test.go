@@ -1,0 +1,64 @@
+package comm
+
+import "testing"
+
+// TestPendQueueFIFOCompaction pins the pending-queue fix: a queue that
+// never fully drains (steady push/pop interleave, as under persistent
+// collective reordering) must keep FIFO order, reuse its backing array,
+// and compact its dead prefix so the array stays bounded by the live
+// window instead of growing with the total message count.
+func TestPendQueueFIFOCompaction(t *testing.T) {
+	q := &pendQueue{}
+	next, expect := 0, 0
+	push := func() { q.push(CollFrame{Tag: next}); next++ }
+	pop := func() {
+		m, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop: queue empty, expected tag %d", expect)
+		}
+		if m.Tag != expect {
+			t.Fatalf("pop: got tag %d, want %d (FIFO violated)", m.Tag, expect)
+		}
+		expect++
+	}
+
+	// Build a live window of 8, then run a long interleave that never
+	// drains the queue: without compaction the dead prefix (head) grows
+	// with every pop and the backing array with every push.
+	for i := 0; i < 8; i++ {
+		push()
+	}
+	for i := 0; i < 10000; i++ {
+		push()
+		pop()
+	}
+	// Live window is 8 and the compaction threshold is 32: the backing
+	// array must stay within one growth step of the largest
+	// pre-compaction length (head<=39 + live 8), not anywhere near the
+	// 10008 pushes that flowed through.
+	if c := cap(q.items); c > 128 {
+		t.Fatalf("backing array grew to cap %d under steady interleave (compaction broken)", c)
+	}
+
+	// Steady state is allocation-free: the capacity must not change over
+	// another long interleave.
+	before := cap(q.items)
+	for i := 0; i < 10000; i++ {
+		push()
+		pop()
+	}
+	if cap(q.items) != before {
+		t.Fatalf("steady-state interleave reallocated: cap %d -> %d", before, cap(q.items))
+	}
+
+	// Drain to empty: order intact to the last element, then reset.
+	for expect < next {
+		pop()
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on drained queue returned a frame")
+	}
+	if q.head != 0 || len(q.items) != 0 {
+		t.Fatalf("drained queue did not reset: head=%d len=%d", q.head, len(q.items))
+	}
+}

@@ -146,6 +146,28 @@
 // wires it up: CheckpointDir/Every/Keep, Resume, CollectiveDeadline,
 // MaxRestarts and the test-only Fault plan.
 //
+// # Transport
+//
+// The fabric is split from the wire: Fabric owns the failure domain and the
+// collective algorithms (ring all-reduce, ordered reduce, broadcast,
+// barrier), while a pluggable Transport moves the bytes. The default is the
+// in-process channel mesh (goroutine ranks, zero-copy pooled buffers); the
+// TCP transport (internal/comm/tcp) runs the same fabric across OS
+// processes, each hosting a contiguous block of ranks. Frames are
+// length-prefixed with a one-byte kind (p2p data, collective chunk, poison),
+// floats cross the wire bit-preserved, and wire buffers recycle through
+// power-of-two capacity classes so steady-state sends are allocation-free.
+// Connection errors map onto the same poison path as local failures — a dead
+// peer surfaces as RankFailedError, a stalled socket trips the
+// CollectiveDeadline backstop as DeadlineError — so a killed peer process is
+// just another recoverable abort: the survivor rebuilds the mesh (waiting up
+// to the dial timeout for the peer to be restarted) and resumes from the
+// newest durable checkpoint. A conformance suite pins collectives
+// bitwise-identical across transports, so a multi-process run reproduces the
+// single-process run exactly. Select it with ParallelConfig.Net
+// (NetConfig{Peers, Proc, DialTimeout}) or samo-train's
+// -transport tcp -peers host:port,host:port -proc N flags.
+//
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
 // and GPT (embedding, attention, layer norm, GELU MLP) — as are the fp16
@@ -206,6 +228,10 @@ type (
 	ParallelConfig = axonn.Config
 	// ParallelResult aggregates a parallel training run.
 	ParallelResult = axonn.Result
+	// NetConfig selects the TCP transport for multi-process training:
+	// Peers lists every process's listen address, Proc is this process's
+	// index, and ranks split into contiguous blocks across processes.
+	NetConfig = axonn.NetConfig
 	// FaultPlan injects deterministic failures into the fabric (tests/chaos).
 	FaultPlan = comm.FaultPlan
 	// RankFailedError is the typed abort every blocked primitive unwinds

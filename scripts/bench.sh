@@ -43,6 +43,17 @@
 # downgrades to a warning automatically; shared multi-core CI sets
 # MIN_COL2IM_SPEEDUP=1.2 for the same noise reasons as the GEMM floor.
 #
+# It also records the transport overhead: the same AllReduce and p2p
+# ping-pong workloads over the in-process channel mesh and the TCP loopback
+# wire land in BENCH_comm.json with the tcp/local ratio per workload. Only
+# the small-payload (latency-bound) points are gated — there the ratio is
+# framing + syscall cost (~10-30x on a quiet box); at large payloads the
+# in-process mesh hands the same slice pointer zero-copy while the wire
+# must serialize, so that ratio grows with payload size and is recorded
+# ungated. The gate (MAX_COMM_OVERHEAD, default 100x) is warn-only either
+# way: it flags a pathological wire path — a lost fast path or per-send
+# allocation storm — without failing on scheduler noise.
+#
 # Finally it exercises the serving path end to end: a samo-serve smoke run
 # (concurrent requests verified bitwise against the offline inference
 # forward) followed by a load test whose p50/p99 latency and throughput
@@ -279,6 +290,71 @@ if s_failures:
     reason = "single CPU" if (os.cpu_count() or 1) <= 1 else "count-based benchtime"
     print("WARNING (not gating, %s):\n%s" % (reason, msg))
 EOF
+
+echo "running transport benchmarks (local vs tcp loopback)..." >&2
+COMM_OUT="BENCH_comm.json"
+MAX_COMM_OVERHEAD="${MAX_COMM_OVERHEAD:-100}"
+COMM_TMP="$(mktemp)"
+go test -run '^$' -bench 'BenchmarkAllReduce|BenchmarkSendRecv' \
+    -benchmem -benchtime="$BENCHTIME" -count=3 ./internal/comm/ | tee "$COMM_TMP" >&2
+
+python3 - "$COMM_TMP" "$COMM_OUT" "$MAX_COMM_OVERHEAD" <<'EOF'
+import json, os, re, subprocess, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+max_overhead = float(sys.argv[3])
+cpu = ""
+results = {}
+for ln in lines:
+    if ln.startswith("cpu:"):
+        cpu = ln[4:].strip()
+    m = re.match(r"^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op", ln)
+    if not m:
+        continue
+    name = re.sub(r"-\d+$", "", m.group(1))
+    entry = {"iters": int(m.group(2)), "ns_per_op": float(m.group(3))}
+    for val, unit in re.findall(r"([\d.]+) (B/op|allocs/op|MB/s)", ln):
+        entry[unit.replace("/", "_per_")] = float(val)
+    if name not in results or entry["ns_per_op"] < results[name]["ns_per_op"]:
+        results[name] = entry
+
+# tcp/local overhead per workload: same benchmark name with the transport
+# segment swapped.
+overhead = {}
+for name in sorted(results):
+    if "/local/" not in name:
+        continue
+    tcp = name.replace("/local/", "/tcp/")
+    if tcp in results:
+        key = name.replace("Benchmark", "").replace("/local", "")
+        overhead[key] = round(results[tcp]["ns_per_op"] / results[name]["ns_per_op"], 2)
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+json.dump({
+    "description": "Transport benchmark baseline: in-process channel mesh vs "
+                   "TCP loopback wire. Regenerate with scripts/bench.sh.",
+    "cpu": cpu,
+    "cpus": os.cpu_count(),
+    "go": go_version,
+    "tcp_overhead_vs_local": overhead,
+    "benchmarks": dict(sorted(results.items())),
+}, open(sys.argv[2], "w"), indent=2)
+print("wrote", sys.argv[2])
+
+# Warn-only framing-overhead gate: loopback cost is machine state, not code
+# quality, so this never fails the run — it exists to flag a pathological
+# wire path (lost local fast path, per-send allocations) loudly. Only the
+# latency-bound small-payload points gate; the large-payload ratio measures
+# the in-process mesh's zero-copy advantage, which legitimately grows with
+# payload size.
+bad = ["%s: tcp is %.1fx local (envelope %.0fx)" % (k, v, max_overhead)
+       for k, v in sorted(overhead.items())
+       if v > max_overhead and "sz1024" in k]
+if bad:
+    print("WARNING: transport overhead outside the expected envelope "
+          "(warn-only):\n  " + "\n  ".join(bad))
+EOF
+rm -f "$COMM_TMP"
 
 echo "running serving smoke + load test..." >&2
 SERVE_OUT="BENCH_serving.json"
