@@ -13,6 +13,7 @@ func TestRunSmoke(t *testing.T) {
 	for _, args := range [][]string{
 		{"-iters", "3", "-ginter", "1", "-gdata", "1", "-hidden", "16", "-layers", "1"},
 		{"-iters", "3", "-ginter", "2", "-gdata", "1", "-hidden", "16", "-layers", "2", "-samo"},
+		{"-iters", "3", "-ginter", "1", "-gdata", "2", "-hidden", "16", "-layers", "1", "-overlap"},
 	} {
 		var buf strings.Builder
 		if err := run(args, &buf); err != nil {
@@ -21,6 +22,9 @@ func TestRunSmoke(t *testing.T) {
 		got := buf.String()
 		if !strings.Contains(got, "training cli on") || !strings.Contains(got, "iter") {
 			t.Errorf("run(%v) output missing training report:\n%s", args, got)
+		}
+		if !strings.Contains(got, "exposed collective time:") {
+			t.Errorf("run(%v) output missing exposed collective report:\n%s", args, got)
 		}
 	}
 }

@@ -49,6 +49,22 @@ type Config struct {
 	// reproducible against a serial sum) instead of the bandwidth-optimal
 	// ring. Numerically both are correct; tests use Ordered.
 	OrderedReduce bool
+	// OverlapReduce launches each gradient bucket's data-parallel all-reduce
+	// asynchronously the moment the bucket's last layer finishes its final
+	// backward, hiding communication behind the remaining backward compute
+	// (the paper's §IV-A overlap, at bucket granularity). All handles are
+	// drained before the overflow consensus. Off, the engine reduces the
+	// same buckets serially after backward. Both paths consume the identical
+	// bucket plan in the identical order, so losses are bitwise-identical
+	// with overlap on vs off — on every transport, at every worker count.
+	// Composes with OrderedReduce (the reduction algorithm is orthogonal to
+	// when it launches).
+	OverlapReduce bool
+	// ReduceBucketElems caps each all-reduce bucket's element count,
+	// overriding core.DefaultReduceBucketElems when positive. Smaller
+	// buckets pipeline more aggressively behind backward; larger ones
+	// amortize per-collective latency.
+	ReduceBucketElems int
 	// ClipNorm forwards to core.ModelState (0 = off).
 	ClipNorm float64
 	// InitialLossScale overrides the dynamic loss scaler's starting scale
@@ -261,6 +277,11 @@ func Train(cfg Config, build Builder, optb OptBuilder, pr *prune.Result, batches
 			go func(r int) {
 				defer wg.Done()
 				rk := f.Rank(r)
+				// Wind down the async reduce lane when the rank finishes or
+				// fails. Registered BEFORE the recover defer (LIFO) so a
+				// panic poisons the fabric first — a worker blocked inside a
+				// collective then unwinds instead of deadlocking CloseAsync.
+				defer rk.CloseAsync()
 				// A panic anywhere in the stack must poison the fabric, or
 				// the surviving ranks deadlock on the dead one's messages.
 				defer func() {
@@ -422,6 +443,14 @@ type worker struct {
 	lossBuf     []float32     // loss-average payload
 	first, last bool
 
+	// Overlapped-reduce state. hook is the state's capture hook, with
+	// LayerDone wired to onLayerDone when OverlapReduce is on (bound once
+	// here — binding a method value per batch would allocate). buckets is
+	// the state's plan; handles is reused across batches.
+	hook    nn.GradHook
+	buckets []core.ReduceBucket
+	handles []*comm.ReduceHandle
+
 	// Per-batch state (reset by trainBatch; fields rather than closure
 	// captures so the steady-state batch loop does not allocate).
 	shardIn      *tensor.Tensor
@@ -432,6 +461,8 @@ type worker struct {
 	fwdDone      int
 	bwdDone      int
 	injected     int
+	launched     int  // buckets whose reduce is in flight this batch
+	finalBwd     bool // the currently running backward is the shard's last
 }
 
 func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *prune.Result) *worker {
@@ -464,7 +495,38 @@ func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *pr
 	for r := 0; r < cfg.GPUs(); r++ {
 		w.allRanks = append(w.allRanks, r)
 	}
+	if cfg.ReduceBucketElems > 0 {
+		state.PlanReduceBuckets(cfg.ReduceBucketElems)
+	}
+	w.hook = state.GradHook()
+	w.buckets = state.ReduceBuckets()
+	if cfg.OverlapReduce {
+		w.hook.LayerDone = w.onLayerDone
+	}
 	return w
+}
+
+// onLayerDone fires from the backward hook after each layer's gradients are
+// captured. During the shard's FINAL microbatch backward every earlier
+// microbatch has already been fully accumulated, so once layer l completes,
+// each bucket whose lowest layer is ≥ l holds its final sum — launch those
+// reduces now, while backward still has layers < l to compute. The ready
+// set is a plan-order prefix, so launch order (hence accumulation order on
+// the wire) is fixed by the plan, never by timing.
+func (w *worker) onLayerDone(layer int) {
+	if !w.finalBwd {
+		return
+	}
+	for n := w.state.BucketReady(layer); w.launched < n; w.launched++ {
+		buf := w.buckets[w.launched].Data
+		var h *comm.ReduceHandle
+		if w.cfg.OrderedReduce {
+			h = w.rk.AllReduceOrderedAsync(w.stageGroup, buf)
+		} else {
+			h = w.rk.AllReduceAsync(w.stageGroup, buf)
+		}
+		w.handles = append(w.handles, h)
+	}
 }
 
 // partition splits n layers into g contiguous chunks (earlier chunks get
@@ -596,7 +658,10 @@ func (w *worker) backward(mb int, grad *tensor.Tensor) error {
 		return w.rk.Fail(fmt.Errorf("axonn: gradient for unknown microbatch %d on rank %d", mb, w.rk.ID()))
 	}
 	delete(w.caches, mb)
-	gin := w.model.BackwardArena(w.arena, caches, grad, w.state.GradHook())
+	// Mark whether this is the shard's last backward before running it: the
+	// LayerDone hook only launches overlapped reduces on the final pass.
+	w.finalBwd = w.bwdDone == w.mCount-1
+	gin := w.model.BackwardArena(w.arena, caches, grad, w.hook)
 	w.putCaches(caches)
 	if !w.first {
 		return w.rk.Send(w.rk.ID()-1, comm.TagGradient, mb, gin.Data(), gin.Shape()...)
@@ -628,6 +693,8 @@ func (w *worker) trainBatch(global Batch) (float64, error) {
 	w.gradScale = w.state.LossScale() / float32(m*cfg.Gdata)
 	w.batchLoss = 0
 	w.fwdDone, w.bwdDone, w.injected = 0, 0, 0
+	w.launched, w.finalBwd = 0, false
+	w.handles = w.handles[:0]
 	rowsPerMB := cfg.Microbatch * global.SampleRows
 
 	// Warmup: stage 0 injects up to Ginter forwards (1F1B's in-flight
@@ -673,16 +740,32 @@ func (w *worker) trainBatch(global Batch) (float64, error) {
 	}
 
 	// Data-parallel phase: all-reduce the (compressed under SAMO) fp16
-	// gradient buffers across the stage group — §IV-A.
-	for _, buf := range w.state.ReduceBuffers() {
+	// gradient buckets across the stage group — §IV-A. With OverlapReduce
+	// the backward hook already launched them in plan order; drain every
+	// handle (keeping the first error) so no operation is in flight when
+	// the consensus collective below reuses the rank's matching state.
+	if cfg.OverlapReduce {
 		var err error
-		if cfg.OrderedReduce {
-			err = w.rk.AllReduceOrdered(w.stageGroup, buf)
-		} else {
-			err = w.rk.AllReduce(w.stageGroup, buf)
+		for _, h := range w.handles {
+			if werr := h.Wait(); werr != nil && err == nil {
+				err = werr
+			}
 		}
+		w.handles = w.handles[:0]
 		if err != nil {
 			return 0, err
+		}
+	} else {
+		for _, buf := range w.state.ReduceBuffers() {
+			var err error
+			if cfg.OrderedReduce {
+				err = w.rk.AllReduceOrdered(w.stageGroup, buf)
+			} else {
+				err = w.rk.AllReduce(w.stageGroup, buf)
+			}
+			if err != nil {
+				return 0, err
+			}
 		}
 	}
 

@@ -158,7 +158,7 @@ func tcpDieWhenDurable(cfg Config, step int) {
 // freeLoopbackAddrs reserves n distinct loopback ports by binding and
 // releasing them. The tiny window before the trainee rebinds is accepted;
 // the TCP transport's dial-retry absorbs any startup skew.
-func freeLoopbackAddrs(t *testing.T, n int) []string {
+func freeLoopbackAddrs(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	lns := make([]net.Listener, n)

@@ -141,6 +141,12 @@ type Stats struct {
 	P2PElements  atomic.Int64
 	CollOps      atomic.Int64
 	CollElements atomic.Int64
+	// ExposedCollNanos is wall time the rank's goroutine spent BLOCKED in
+	// collectives: the full duration of synchronous calls plus only the
+	// waiting tail of async ones (launch-to-completion time hidden behind
+	// compute is, by definition, not exposed). The overlap win is this
+	// counter shrinking while CollElements stays constant.
+	ExposedCollNanos atomic.Int64
 }
 
 // Fabric connects n ranks. Create once, then hand each goroutine its Rank.
@@ -242,6 +248,16 @@ func (f *Fabric) TotalCollElements() int64 {
 	return s
 }
 
+// TotalExposedCollNanos sums exposed (blocking) collective wall time over
+// all ranks. See Stats.ExposedCollNanos for the exposure semantics.
+func (f *Fabric) TotalExposedCollNanos() int64 {
+	var s int64
+	for i := range f.stats {
+		s += f.stats[i].ExposedCollNanos.Load()
+	}
+	return s
+}
+
 type pendKey struct {
 	from, tag int
 }
@@ -299,6 +315,14 @@ type Rank struct {
 	ops     int       // collective entries so far, for CrashAtOp fault points
 	scratch []float32 // reusable single-element buffer (barriers, flags)
 	bounds  []int     // reusable chunk-boundary scratch for ring collectives
+
+	// Async collective lane (async.go). The worker goroutine executes
+	// queued operations serially, reusing this Rank's matching state —
+	// safe because the owner never runs a collective while handles are
+	// outstanding (the engine drains before any synchronous call).
+	asyncCh     chan asyncOp
+	asyncDone   chan struct{}
+	freeHandles []*ReduceHandle // owner-side handle pool (zero-alloc steady state)
 }
 
 // chunkBounds fills the rank's reusable boundary scratch (ring collectives
@@ -475,6 +499,15 @@ const (
 // poisoned fabric (or when a fault fires) it unwinds with the typed error;
 // buf's contents are then unspecified and the caller must not step on them.
 func (rk *Rank) AllReduce(group []int, buf []float32) error {
+	start := time.Now()
+	err := rk.allReduce(group, buf)
+	rk.f.stats[rk.r].ExposedCollNanos.Add(time.Since(start).Nanoseconds())
+	return err
+}
+
+// allReduce is AllReduce without the exposed-time accounting, shared with
+// the async lane (async hidden time must not count as exposed).
+func (rk *Rank) allReduce(group []int, buf []float32) error {
 	if err := rk.enterColl(); err != nil {
 		return err
 	}
@@ -538,6 +571,15 @@ func (rk *Rank) AllReduce(group []int, buf []float32) error {
 // order, exactly matching a serial loop over ranks. Used where bitwise
 // reproducibility against a serial reference matters more than bandwidth.
 func (rk *Rank) AllReduceOrdered(group []int, buf []float32) error {
+	start := time.Now()
+	err := rk.allReduceOrdered(group, buf)
+	rk.f.stats[rk.r].ExposedCollNanos.Add(time.Since(start).Nanoseconds())
+	return err
+}
+
+// allReduceOrdered is AllReduceOrdered without the exposed-time accounting,
+// shared with the async lane.
+func (rk *Rank) allReduceOrdered(group []int, buf []float32) error {
 	if err := rk.enterColl(); err != nil {
 		return err
 	}
@@ -573,10 +615,13 @@ func (rk *Rank) AllReduceOrdered(group []int, buf []float32) error {
 // Broadcast copies root's buf to every rank (binomial-tree free: simple
 // root-sends-all, adequate in-process).
 func (rk *Rank) Broadcast(group []int, root int, buf []float32) error {
-	if err := rk.enterColl(); err != nil {
-		return err
+	start := time.Now()
+	err := rk.enterColl()
+	if err == nil {
+		err = rk.broadcast(group, root, buf)
 	}
-	return rk.broadcast(group, root, buf)
+	rk.f.stats[rk.r].ExposedCollNanos.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // broadcast is Broadcast without the collective-entry prologue, for reuse
@@ -619,6 +664,13 @@ func (rk *Rank) broadcast(group []int, root int, buf []float32) error {
 // ReduceScatter sums buf across the group and leaves each rank with its
 // owned chunk in out (chunk boundaries from chunkBounds). buf is clobbered.
 func (rk *Rank) ReduceScatter(group []int, buf []float32) ([]float32, error) {
+	start := time.Now()
+	out, err := rk.reduceScatter(group, buf)
+	rk.f.stats[rk.r].ExposedCollNanos.Add(time.Since(start).Nanoseconds())
+	return out, err
+}
+
+func (rk *Rank) reduceScatter(group []int, buf []float32) ([]float32, error) {
 	if err := rk.enterColl(); err != nil {
 		return nil, err
 	}
@@ -665,6 +717,13 @@ func (rk *Rank) ReduceScatter(group []int, buf []float32) ([]float32, error) {
 // AllGather concatenates each rank's chunk into full (length = total);
 // chunk sizes must follow chunkBounds(total, G).
 func (rk *Rank) AllGather(group []int, chunk []float32, total int) ([]float32, error) {
+	start := time.Now()
+	full, err := rk.allGather(group, chunk, total)
+	rk.f.stats[rk.r].ExposedCollNanos.Add(time.Since(start).Nanoseconds())
+	return full, err
+}
+
+func (rk *Rank) allGather(group []int, chunk []float32, total int) ([]float32, error) {
 	if err := rk.enterColl(); err != nil {
 		return nil, err
 	}

@@ -79,6 +79,12 @@ type ModelState struct {
 	layerParams map[nn.Layer][]*nn.Param
 	reduceBufs  [][]float32
 	clipBufs    [][]float32
+
+	// Bucketed all-reduce plan (see buckets.go). Every paramState.grad16
+	// aliases a segment of exactly one bucket slab; the slabs, in backward
+	// order, ARE the reduce payload.
+	buckets []ReduceBucket
+	readyAt []int // readyAt[l] = #buckets final once layer l's backward is done
 }
 
 // NewModelState builds the state manager. For SAMO mode, pr must hold the
@@ -110,18 +116,18 @@ func NewModelState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prune.Re
 		// fp16-quantize the initial dense parameters (mixed-precision init).
 		quantize(p.Value.Data())
 		st.ix = ix
+		// grad16 is not allocated here: planBuckets aliases it into the
+		// bucket slabs below, so the reduce payload is contiguous per bucket.
 		if mode == SAMO && ix != nil {
 			st.compressed = true
 			n := ix.NNZ()
 			st.theta32 = make([]float32, n)
-			st.grad16 = make([]float32, n)
 			st.grad32 = make([]float32, n)
 			st.tmp16 = make([]float32, n)
 			ix.Compress(st.theta32, p.Value.Data())
 		} else {
 			n := p.Size()
 			st.theta32 = make([]float32, n)
-			st.grad16 = make([]float32, n)
 			st.grad32 = make([]float32, n)
 			copy(st.theta32, p.Value.Data())
 		}
@@ -129,7 +135,7 @@ func NewModelState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prune.Re
 		ms.byParam[p] = st
 	}
 	ms.layerParams = make(map[nn.Layer][]*nn.Param)
-	ms.hook = func(layer nn.Layer) {
+	ms.hook = nn.GradHook{Capture: func(layer nn.Layer) {
 		ps, ok := ms.layerParams[layer]
 		if !ok {
 			ps = layer.Params()
@@ -138,13 +144,12 @@ func NewModelState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prune.Re
 		for _, p := range ps {
 			ms.captureParam(p)
 		}
-	}
-	ms.reduceBufs = make([][]float32, len(ms.states))
+	}}
 	ms.clipBufs = make([][]float32, len(ms.states))
 	for i, st := range ms.states {
-		ms.reduceBufs[i] = st.grad16
 		ms.clipBufs[i] = st.grad32
 	}
+	ms.planBuckets(DefaultReduceBucketElems)
 	return ms
 }
 
@@ -202,11 +207,15 @@ func (ms *ModelState) CaptureAll() {
 	}
 }
 
-// ReduceBuffers exposes the captured fp16 gradient vectors for data-parallel
-// all-reduce. Under SAMO these are the compressed vectors — the paper's
-// collective-communication optimization: message size drops from 2φ to 2fφ
-// bytes with no extra copies. The returned slice is owned by the state and
-// reused across calls (do not modify its structure).
+// ReduceBuffers exposes the captured fp16 gradient payload for data-parallel
+// all-reduce, one buffer per size-bounded bucket in backward order (the order
+// gradients become final — see planBuckets). Under SAMO these hold the
+// compressed vectors — the paper's collective-communication optimization:
+// message size drops from 2φ to 2fφ bytes with no extra copies. Both the
+// serial-barrier and the overlapped reduce paths consume exactly this list
+// in exactly this order, which is what makes them bitwise-identical. The
+// returned slice is owned by the state and reused across calls (do not
+// modify its structure).
 func (ms *ModelState) ReduceBuffers() [][]float32 { return ms.reduceBufs }
 
 // GradElements returns the total element count of the all-reduce payload.

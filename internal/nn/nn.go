@@ -128,13 +128,21 @@ func (m *Model) ForwardArena(a *tensor.Arena, x *tensor.Tensor, train bool, cach
 	return x
 }
 
-// GradHook is called after each layer's backward pass with that layer's
-// parameters — the exact point SAMO compresses ∇θ16 at layer granularity so
-// the whole model's dense gradients never coexist in memory (§III-C).
-type GradHook func(layer Layer)
+// GradHook observes the backward pass at layer boundaries. Capture is
+// called after each layer's backward with that layer — the exact point SAMO
+// compresses ∇θ16 at layer granularity so the whole model's dense gradients
+// never coexist in memory (§III-C). LayerDone then fires with the layer's
+// index, signalling that every parameter gradient owned by that layer is
+// final for this backward pass; the engine uses it to launch the layer's
+// bucketed all-reduce while earlier layers are still computing.
+type GradHook struct {
+	Capture   func(layer Layer)
+	LayerDone func(layer int)
+}
 
-// Backward runs the reverse pass from the output gradient, invoking hook (if
-// non-nil) after each layer. Returns the gradient w.r.t. the model input.
+// Backward runs the reverse pass from the output gradient, invoking the hook
+// callbacks (those that are non-nil) after each layer. Returns the gradient
+// w.r.t. the model input.
 func (m *Model) Backward(caches []any, gradOut *tensor.Tensor, hook GradHook) *tensor.Tensor {
 	return m.BackwardArena(nil, caches, gradOut, hook)
 }
@@ -148,8 +156,11 @@ func (m *Model) BackwardArena(a *tensor.Arena, caches []any, gradOut *tensor.Ten
 	g := gradOut
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		g = m.Layers[i].Backward(a, caches[i], g)
-		if hook != nil {
-			hook(m.Layers[i])
+		if hook.Capture != nil {
+			hook.Capture(m.Layers[i])
+		}
+		if hook.LayerDone != nil {
+			hook.LayerDone(i)
 		}
 	}
 	return g

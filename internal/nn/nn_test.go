@@ -253,7 +253,7 @@ func TestModelEndToEndGradient(t *testing.T) {
 	m.ZeroGrads()
 	y, caches := m.Forward(x, true)
 	_, g := CrossEntropy(y, targets)
-	m.Backward(caches, g, nil)
+	m.Backward(caches, g, GradHook{})
 
 	p := m.Params()[0] // first weight matrix
 	const eps = 1e-2
@@ -280,13 +280,25 @@ func TestGradHookFiresPerLayerInReverse(t *testing.T) {
 	y, caches := m.Forward(x, true)
 	_, g := CrossEntropy(y, []int{0, 1})
 	var order []Layer
-	m.Backward(caches, g, func(l Layer) { order = append(order, l) })
+	var done []int
+	m.Backward(caches, g, GradHook{
+		Capture:   func(l Layer) { order = append(order, l) },
+		LayerDone: func(i int) { done = append(done, i) },
+	})
 	if len(order) != len(m.Layers) {
 		t.Fatalf("hook fired %d times for %d layers", len(order), len(m.Layers))
 	}
 	for i := range order {
 		if order[i] != m.Layers[len(m.Layers)-1-i] {
 			t.Fatalf("hook order not reverse of layer order")
+		}
+	}
+	if len(done) != len(m.Layers) {
+		t.Fatalf("LayerDone fired %d times for %d layers", len(done), len(m.Layers))
+	}
+	for i, l := range done {
+		if l != len(m.Layers)-1-i {
+			t.Fatalf("LayerDone order = %v, want reverse layer indices", done)
 		}
 	}
 }
@@ -303,7 +315,7 @@ func TestMicrobatchGradientsSumToBatch(t *testing.T) {
 		y, caches := m.Forward(x.Slice(lo, hi), true)
 		_, g := CrossEntropy(y, targets[lo:hi])
 		tensor.Scale(g, float32(hi-lo)/4) // weight by sub-batch fraction
-		m.Backward(caches, g, nil)
+		m.Backward(caches, g, GradHook{})
 	}
 	m.ZeroGrads()
 	run(0, 4)

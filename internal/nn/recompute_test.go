@@ -83,13 +83,13 @@ func TestWithRecomputeWholeModel(t *testing.T) {
 	base.ZeroGrads()
 	y1, c1 := base.Forward(x, true)
 	_, g1 := CrossEntropy(y1, targets)
-	base.Backward(c1, g1, nil)
+	base.Backward(c1, g1, GradHook{})
 	want := base.Params()[0].Grad.Clone()
 
 	base.ZeroGrads() // wrapped shares the same params
 	y2, c2 := wrapped.Forward(x, true)
 	_, g2 := CrossEntropy(y2, targets)
-	wrapped.Backward(c2, g2, nil)
+	wrapped.Backward(c2, g2, GradHook{})
 	if d := tensor.MaxAbsDiff(want, base.Params()[0].Grad); d != 0 {
 		t.Errorf("wrapped model grads differ: %g", d)
 	}

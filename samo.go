@@ -168,6 +168,36 @@
 // (NetConfig{Peers, Proc, DialTimeout}) or samo-train's
 // -transport tcp -peers host:port,host:port -proc N flags.
 //
+// # Overlapped communication
+//
+// The data-parallel gradient all-reduce can run BEHIND the backward pass
+// instead of as a barrier after it. Gradients are laid out in size-bounded
+// buckets packed in backward order (core.ReduceBuckets): each parameter's
+// ∇θ16 aliases a segment of exactly one contiguous slab, so gradient
+// capture writes straight into the reduce payload, and the engine —
+// via a per-layer completion hook on the backward pass — launches bucket
+// i's all-reduce on an async lane (comm.AllReduceAsync and a per-rank
+// serial worker goroutine) the moment the final microbatch's backward
+// crosses the bucket's lowest layer, while earlier layers are still
+// computing. The engine drains every in-flight handle before the
+// end-of-batch consensus, so the fabric's FIFO matching and fault
+// protocol are untouched.
+//
+// The determinism contract survives: the bucket plan is a pure function
+// of model structure and the size bound, both the overlapped and the
+// serial path consume the identical plan-ordered buffer list, and the
+// async lane executes launches serially in order — so overlap-on vs
+// overlap-off is bitwise-identical, at every worker count, on both
+// transports, under fault injection (pinned by a worker-sweep suite and a
+// crash-mid-overlapped-reduce recovery golden). Enable it with
+// ParallelConfig.OverlapReduce (samo-train -overlap); per-collective
+// exposed wall time — full duration for synchronous calls, only the
+// un-hidden blocking tail for overlapped ones — is tracked per rank and
+// surfaced via the fabric's stats and samo-train's final report, and
+// scripts/bench.sh records the serial-vs-overlapped step-time matrix in
+// BENCH_comm.json (overlap_step_speedup; the simulator's overlap-aware
+// cost model, simulate.RunWithOptions, is validated against it).
+//
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
 // and GPT (embedding, attention, layer norm, GELU MLP) — as are the fp16
