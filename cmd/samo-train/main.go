@@ -47,6 +47,11 @@ func run(args []string, out io.Writer) error {
 	useSAMO := fs.Bool("samo", false, "enable SAMO-compressed model states")
 	overlap := fs.Bool("overlap", false, "overlap bucketed gradient all-reduce with backward")
 	sparsity := fs.Float64("sparsity", 0.9, "pruned fraction when -samo is set")
+	pruneBegin := fs.Int("prune-begin", -1, "gradual pruning: first event step (-1 = one-shot pruning only)")
+	pruneEnd := fs.Int("prune-end", 0, "gradual pruning: step the final sparsity is reached at")
+	pruneEvery := fs.Int("prune-every", 1, "gradual pruning: steps between prune events")
+	pruneFinal := fs.Float64("prune-final", 0, "gradual pruning: final pruned fraction")
+	pruneGlobal := fs.Bool("prune-global", false, "gradual pruning: rank magnitudes globally instead of per layer")
 	iters := fs.Int("iters", 100, "training iterations")
 	hidden := fs.Int("hidden", 48, "model width")
 	layers := fs.Int("layers", 2, "transformer blocks")
@@ -75,6 +80,11 @@ func run(args []string, out io.Writer) error {
 	var ticket *samo.PruneResult
 	mode := samo.ModeDense
 	if *useSAMO {
+		// Validate before pruning: an out-of-range target would otherwise
+		// panic inside the pruning package (its contract is validated input).
+		if *sparsity < 0 || *sparsity >= 1 {
+			return fmt.Errorf("-sparsity %g outside [0,1)", *sparsity)
+		}
 		ticket = samo.PruneMagnitude(build(), *sparsity)
 		mode = samo.ModeSAMO
 		fmt.Fprintf(out, "pruned %d of %d prunable parameters (%.0f%% sparsity)\n",
@@ -99,6 +109,23 @@ func run(args []string, out io.Writer) error {
 		CheckpointKeep:     *ckptKeep,
 		Resume:             *resume,
 		CollectiveDeadline: *deadline,
+	}
+	if *pruneBegin >= 0 {
+		if !*useSAMO {
+			return errors.New("-prune-begin requires -samo (gradual pruning shrinks pruned model states)")
+		}
+		sched := samo.PruneSchedule{
+			Initial:   *sparsity,
+			Final:     *pruneFinal,
+			BeginStep: *pruneBegin,
+			EndStep:   *pruneEnd,
+			Frequency: *pruneEvery,
+			Global:    *pruneGlobal,
+		}
+		if err := sched.Validate(); err != nil {
+			return err
+		}
+		pcfg.PruneSchedule = &sched
 	}
 	switch *transport {
 	case "local":

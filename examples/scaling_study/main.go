@@ -37,7 +37,9 @@ func run(args []string, out io.Writer) error {
 	sparsity := fs.Float64("sparsity", 0.9, "pruned fraction for SAMO")
 	sparseExec := fs.Bool("sparse-exec", false,
 		"measure the real sparse execution path (CSR kernels) on this host instead of simulating")
-	steps := fs.Int("steps", 8, "training steps per path in -sparse-exec mode")
+	schedule := fs.Bool("schedule", false,
+		"sweep gradual-pruning schedules on this host and print the accuracy-proxy vs speedup frontier")
+	steps := fs.Int("steps", 8, "training steps per path in -sparse-exec and -schedule modes")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -45,6 +47,15 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 		return err
+	}
+	// Validate before any pruning call: an out-of-range target would
+	// otherwise panic inside the pruning package (its contract is validated
+	// input), and every mode below feeds -sparsity to it.
+	if *sparsity < 0 || *sparsity >= 1 {
+		return fmt.Errorf("-sparsity %g outside [0,1)", *sparsity)
+	}
+	if *schedule {
+		return runScheduleStudy(out, *sparsity, *steps)
 	}
 	if *sparseExec {
 		return runSparseExec(out, *sparsity, *steps)
@@ -142,6 +153,105 @@ func runSparseExec(out io.Writer, sparsity float64, steps int) error {
 	fmt.Fprintf(out, "\npruned-FLOPs speedup: %.2fx (dense/sparse step time)\n", dms/sms)
 	if d := dloss - sloss; d > 0.05 || d < -0.05 {
 		fmt.Fprintf(out, "NOTE: losses diverge (%.4f vs %.4f) — different summation orders only\n", dloss, sloss)
+	}
+	return nil
+}
+
+// runScheduleStudy trains the sparse-exec MLP under several gradual-pruning
+// schedules — all starting from the same one-shot initial sparsity and
+// cubically ramping to different final sparsities — and prints one frontier
+// row per schedule: the final eval loss (accuracy proxy), mean step time,
+// speedup over the masked-dense reference, and the final model-state bytes
+// (which ratchet down with every prune event). The frontier is the
+// accuracy-vs-speedup trade the schedule buys.
+func runScheduleStudy(out io.Writer, initial float64, steps int) error {
+	if steps < 4 {
+		return fmt.Errorf("-steps must be >= 4 for a schedule sweep, got %d", steps)
+	}
+	const batch, in, hidden, classes = 64, 256, 256, 16
+	build := func() *samo.Model {
+		return samo.NewMLP("fc", []int{in, hidden, hidden, classes}, samo.NewRNG(7))
+	}
+	x := samo.NewTensor(batch, in)
+	samo.FillNormal(x, 1, samo.NewRNG(8))
+	targets := make([]int, batch)
+	rng := samo.NewRNG(9)
+	for i := range targets {
+		targets[i] = rng.Intn(classes)
+	}
+	// Pin the sparse path (see runSparseExec) so crossover probing does not
+	// blur the timings; the masked-dense reference has no sparse layers.
+	prevMode, err := samo.SetSparseCompute("sparse")
+	if err != nil {
+		return err
+	}
+	defer samo.SetSparseCompute(prevMode)
+
+	// The cubic ramp spans the middle half of the run so every schedule has
+	// warm-up steps before and adaptation steps after its events.
+	begin, end := steps/4, steps-steps/4
+	freq := (end - begin) / 3
+	if freq < 1 {
+		freq = 1
+	}
+	type entry struct {
+		label string
+		sched *samo.PruneSchedule
+	}
+	entries := []entry{{label: "one-shot", sched: nil}}
+	for _, final := range []float64{0.95, 0.98} {
+		if final <= initial {
+			continue
+		}
+		f := final
+		entries = append(entries, entry{
+			label: fmt.Sprintf("cubic->%.2f", f),
+			sched: &samo.PruneSchedule{Initial: initial, Final: f,
+				BeginStep: begin, EndStep: end, Frequency: freq},
+		})
+	}
+
+	train := func(m *samo.Model, pr *samo.PruneResult, sched *samo.PruneSchedule) (msPerStep, evalLoss float64, stateBytes int64, err error) {
+		state := samo.NewState(m, samo.NewAdam(1e-3), samo.ModeSAMO, pr)
+		tr := samo.NewTrainer(state)
+		var pruner *samo.GradualPruner
+		if sched != nil {
+			if pruner, err = samo.NewGradualPruner(state, *sched); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		tr.TrainStep(x, targets) // warm pools, arena, caches
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
+			tr.TrainStep(x, targets)
+			if pruner != nil {
+				pruner.MaybePrune(i)
+			}
+		}
+		msPerStep = float64(time.Since(t0)) / float64(steps) / 1e6
+		return msPerStep, tr.EvalLoss(x, targets), state.Memory().Total(), nil
+	}
+
+	fmt.Fprintf(out, "gradual-pruning schedule frontier: %d-%d-%d-%d MLP, batch %d, initial sparsity %.2f, %d steps\n",
+		in, hidden, hidden, classes, batch, initial, steps)
+	fmt.Fprintf(out, "ramp: steps %d-%d, every %d steps\n\n", begin, end, freq)
+	pr := samo.PruneMagnitude(build(), initial)
+	dms, dloss, dbytes, err := train(build(), pr, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-14s %9s %10s %9s %14s\n", "schedule", "evalloss", "ms/step", "speedup", "state bytes")
+	fmt.Fprintf(out, "%-14s %9.4f %10.3f %8.2fx %14d   (masked-dense reference)\n", "dense-ref", dloss, dms, 1.0, dbytes)
+	for _, e := range entries {
+		// Fresh pruning result per run: gradual pruning shrinks the state's
+		// private index clones, but the sparse layers own their patterns.
+		epr := samo.PruneMagnitude(build(), initial)
+		sm := samo.Sparsify(build(), epr)
+		ms, loss, bytes, err := train(sm, epr, e.sched)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-14s %9.4f %10.3f %8.2fx %14d\n", e.label, loss, ms, dms/ms, bytes)
 	}
 	return nil
 }

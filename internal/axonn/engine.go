@@ -67,6 +67,16 @@ type Config struct {
 	ReduceBucketElems int
 	// ClipNorm forwards to core.ModelState (0 = off).
 	ClipNorm float64
+	// PruneSchedule, when non-nil, runs gradual magnitude pruning during
+	// training (core.GradualPruner): at each schedule event — evaluated on
+	// the global batch index, after the step's overflow consensus — every
+	// replica shrinks its patterns in place to the event's sparsity.
+	// Selection is a pure function of (step, θ32), which is bitwise-identical
+	// across replicas at that point, so all ranks shrink identically with no
+	// extra communication. Checkpoints written after an event carry the
+	// shrunk pattern; resuming from one written before an event replays the
+	// event deterministically.
+	PruneSchedule *prune.Schedule
 	// InitialLossScale overrides the dynamic loss scaler's starting scale
 	// when positive (tests use it to provoke overflow skips).
 	InitialLossScale float64
@@ -122,7 +132,16 @@ type NetConfig struct {
 // tag names the training configuration for the checkpoint manifest: a
 // checkpoint only resumes into the same parallel layout and mode.
 func (c Config) tag() string {
-	return fmt.Sprintf("axonn:g%dx%d:mb%d:%v", c.Ginter, c.Gdata, c.Microbatch, c.Mode)
+	t := fmt.Sprintf("axonn:g%dx%d:mb%d:%v", c.Ginter, c.Gdata, c.Microbatch, c.Mode)
+	if s := c.PruneSchedule; s != nil {
+		scope := "layer"
+		if s.Global {
+			scope = "global"
+		}
+		t += fmt.Sprintf(":gp%g-%g@%d-%d/%d:%s",
+			s.Initial, s.Final, s.BeginStep, s.EndStep, s.Frequency, scope)
+	}
+	return t
 }
 
 // GPUs returns the total rank count.
@@ -396,6 +415,11 @@ func validate(cfg Config, batches []Batch) error {
 	if cfg.ClipNorm < 0 {
 		return fmt.Errorf("axonn: negative ClipNorm %g", cfg.ClipNorm)
 	}
+	if cfg.PruneSchedule != nil {
+		if err := cfg.PruneSchedule.Validate(); err != nil {
+			return fmt.Errorf("axonn: %w", err)
+		}
+	}
 	for i, b := range batches {
 		if b.Samples%cfg.Gdata != 0 {
 			return fmt.Errorf("axonn: batch %d of %d samples not divisible by Gdata=%d", i, b.Samples, cfg.Gdata)
@@ -429,8 +453,9 @@ type worker struct {
 	stage int
 	dgrp  int
 
-	model *nn.Model // this stage's layers only
-	state *core.ModelState
+	model  *nn.Model // this stage's layers only
+	state  *core.ModelState
+	pruner *core.GradualPruner // nil without a PruneSchedule
 
 	stageGroup []int // ranks holding the same stage across data groups
 	allRanks   []int
@@ -502,6 +527,11 @@ func newWorker(cfg Config, rk *comm.Rank, build Builder, optb OptBuilder, pr *pr
 	w.buckets = state.ReduceBuckets()
 	if cfg.OverlapReduce {
 		w.hook.LayerDone = w.onLayerDone
+	}
+	if cfg.PruneSchedule != nil {
+		// The schedule was validated with the config; a stage with no
+		// prunable parameters gets a no-op pruner.
+		w.pruner, _ = core.NewGradualPruner(state, *cfg.PruneSchedule)
 	}
 	return w
 }
@@ -582,6 +612,12 @@ func (w *worker) runFrom(batches []Batch, start int, mgr *ckpt.Manager, every in
 		loss, err := w.trainBatch(batches[i])
 		if err != nil {
 			return err
+		}
+		// Gradual-pruning events run after the batch's overflow consensus
+		// and optimizer step, so every replica shrinks from identical θ32;
+		// a checkpoint at step i+1 then carries the post-event pattern.
+		if w.pruner != nil {
+			w.pruner.MaybePrune(i)
 		}
 		if w.last && w.dgrp == 0 {
 			losses[i] = loss

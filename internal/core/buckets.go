@@ -93,7 +93,13 @@ func (ms *ModelState) planBuckets(maxElems int) {
 
 	ms.buckets = make([]ReduceBucket, len(packed))
 	ms.reduceBufs = make([][]float32, len(packed))
+	ms.bucketMembers = make([][]*paramState, len(packed))
 	for bi, members := range packed {
+		mem := make([]*paramState, len(members))
+		for i, m := range members {
+			mem[i] = m.st
+		}
+		ms.bucketMembers[bi] = mem
 		total := 0
 		for _, m := range members {
 			total += len(m.st.theta32)
@@ -127,5 +133,51 @@ func (ms *ModelState) planBuckets(maxElems int) {
 			}
 		}
 		ms.readyAt[l] = n
+	}
+}
+
+// compactBuckets shrinks the grad16 slabs in place after a pattern shrink:
+// each touched bucket's member segments slide leftward inside the existing
+// slab (membership, packing order, Layer minima and hence readyAt never
+// change — the plan is fixed; only segment lengths shrink). segKeeps holds
+// the keep mask for every member whose stored vectors compacted; members
+// absent from it (untouched parameters, and masked-dense ones whose
+// storage stays full-length) keep their length and only shift. Kept values
+// move with their positions, so a mid-run shrink never corrupts captured
+// gradients; no allocation happens here.
+func (ms *ModelState) compactBuckets(segKeeps map[*paramState][]bool) {
+	for bi, members := range ms.bucketMembers {
+		touched := false
+		for _, st := range members {
+			if _, ok := segKeeps[st]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		slab := ms.buckets[bi].Data
+		w := 0
+		for _, st := range members {
+			seg := st.grad16
+			start := w
+			if keep, ok := segKeeps[st]; ok {
+				// In-slab left compaction: writes never pass reads because
+				// segments only ever shrink.
+				for i, k := range keep {
+					if k {
+						slab[w] = seg[i]
+						w++
+					}
+				}
+			} else {
+				copy(slab[w:w+len(seg)], seg)
+				w += len(seg)
+			}
+			st.grad16 = slab[start:w:w]
+		}
+		ms.buckets[bi].Data = slab[:w]
+		ms.reduceBufs[bi] = ms.buckets[bi].Data
 	}
 }

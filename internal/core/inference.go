@@ -35,16 +35,16 @@ type InferenceState struct {
 	model    *nn.Model
 	optBytes int // optimizer footprint of the checkpoints this state accepts
 	params   []inferParam
+	patterns map[*nn.Param]nn.PatternLayer
 }
 
 // inferParam mirrors paramState's structural fields without any of its
-// storage: stored is the length a matching ModelState's θ32 would have,
-// which is all Fingerprint and checkpoint validation need.
+// storage. The index is this state's private clone: loading a checkpoint
+// written after gradual prune events shrinks it in place.
 type inferParam struct {
 	p          *nn.Param
 	ix         *sparse.Index
 	compressed bool
-	stored     int
 }
 
 // NewInferenceState builds a forward-only state over model. opt identifies
@@ -62,11 +62,21 @@ func NewInferenceState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prun
 		Mode:     mode,
 		model:    model,
 		optBytes: opt.StateBytesPerParam(),
+		patterns: make(map[*nn.Param]nn.PatternLayer),
+	}
+	for _, l := range model.Layers {
+		if pl, ok := l.(nn.PatternLayer); ok {
+			s.patterns[pl.PatternParam()] = pl
+		}
 	}
 	for _, p := range model.Params() {
 		ip := inferParam{p: p}
 		if pr != nil && nn.Prunable(p) {
-			ip.ix = pr.Index(p.Name)
+			// Private clone: shrink-on-load mutates the index in place, and
+			// the pruning result may be shared with other states.
+			if shared := pr.Index(p.Name); shared != nil {
+				ip.ix = shared.Clone()
+			}
 		}
 		if ip.ix != nil {
 			ip.ix.Mask().Apply(p.Value.Data())
@@ -74,9 +84,6 @@ func NewInferenceState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prun
 		quantize(p.Value.Data())
 		if mode == SAMO && ip.ix != nil {
 			ip.compressed = true
-			ip.stored = ip.ix.NNZ()
-		} else {
-			ip.stored = p.Size()
 		}
 		// Forward-only: the gradient accumulator will never be written.
 		// Release it so the footprint shrinks from 4φ (Value+Grad fp32
@@ -104,9 +111,11 @@ func (s *InferenceState) Memory() MemoryBreakdown {
 }
 
 // Fingerprint hashes the same structural identity as ModelState.Fingerprint
-// — mode, optimizer footprint, per-parameter name/size/stored length — so a
-// training checkpoint's manifest fingerprint matches and ckpt.Manager loads
-// it into inference mode with the same up-front refusal semantics.
+// — mode, optimizer footprint, per-parameter name and full (pre-pruning)
+// size — so a training checkpoint's manifest fingerprint matches and
+// ckpt.Manager loads it into inference mode with the same up-front refusal
+// semantics, at any point of a gradual pruning schedule (patterns are
+// validated structurally inside the snapshot, not here).
 func (s *InferenceState) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -118,10 +127,18 @@ func (s *InferenceState) Fingerprint() uint64 {
 	putU64(uint64(s.optBytes))
 	for _, ip := range s.params {
 		h.Write([]byte(ip.p.Name))
-		putU64(uint64(ip.p.Size()))
-		putU64(uint64(ip.stored))
+		putU64(uint64(s.fullSize(ip)))
 	}
 	return h.Sum64()
+}
+
+// fullSize is the dense (pre-pruning) element count of a parameter — the
+// pattern layer's full matrix for SparseLinear values, p.Size() otherwise.
+func (s *InferenceState) fullSize(ip inferParam) int {
+	if pl := s.patterns[ip.p]; pl != nil {
+		return pl.PatternFullLen()
+	}
+	return ip.p.Size()
 }
 
 // Save is unsupported: an InferenceState holds no θ32 or optimizer state to
@@ -141,18 +158,51 @@ func (s *InferenceState) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// The spec is rebuilt per call: a previous shrink-on-load may have
+	// shrunk patterns, and the next checkpoint validates against the
+	// current ones.
 	spec := snapSpec{mode: s.Mode, wantK: s.optBytes / 4}
 	for _, ip := range s.params {
-		spec.params = append(spec.params, snapParamSpec{name: ip.p.Name, stored: ip.stored})
+		ps := snapParamSpec{name: ip.p.Name, stored: ip.p.Size(), full: s.fullSize(ip)}
+		switch {
+		case s.patterns[ip.p] != nil:
+			ps.ids = s.patterns[ip.p].PatternIDs()
+			ps.patternSized = true
+		case ip.compressed:
+			ps.stored = ip.ix.NNZ()
+			ps.ids = ip.ix.IDs()
+			ps.patternSized = true
+		case ip.ix != nil:
+			ps.ids = ip.ix.IDs()
+		}
+		spec.params = append(spec.params, ps)
 	}
 	stg, err := parseSnapshot(raw, &spec)
 	if err != nil {
 		return err
 	}
-	// Commit: θ32 -> fp16 grid -> dense θ16 (the optimizer down-cast path,
-	// without an optimizer).
+	// Commit: shrink-on-load where the checkpoint's pattern is a strict
+	// subset, then θ32 -> fp16 grid -> dense θ16 (the optimizer down-cast
+	// path, without an optimizer).
 	for i, ip := range s.params {
 		sp := &stg.params[i]
+		if k := sp.keep; k != nil {
+			switch {
+			case s.patterns[ip.p] != nil:
+				s.patterns[ip.p].ShrinkPattern(k)
+			case ip.compressed:
+				ids := ip.ix.IDs()
+				dst := ip.p.Value.Data()
+				for j, kk := range k {
+					if !kk {
+						dst[ids[j]] = 0
+					}
+				}
+				ip.ix.ShrinkTo(k)
+			default:
+				ip.ix.ShrinkTo(k)
+			}
+		}
 		if ip.compressed {
 			for j, v := range sp.theta32 {
 				sp.theta32[j] = fp16.Round(v)

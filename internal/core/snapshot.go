@@ -18,15 +18,24 @@ import (
 // load, the same operation the optimizer's down-cast step performs.
 //
 // Format (little-endian): magic, version, mode, scaler state, step counts,
-// then per parameter: name, stored length, θ32 values, K optimizer-state
-// vectors. A CRC-32 of the payload guards against truncation. Indices are
-// not serialized — they are derived from the pruning result, which the
-// caller supplies when rebuilding the ModelState (exactly as the paper's
-// ind tensor is an input to SAMO, not part of it).
+// then per parameter: name, pattern block, stored length, θ32 values, K
+// optimizer-state vectors. A CRC-32 of the payload guards against
+// truncation.
+//
+// The pattern block (version 2) serializes the stored pattern of every
+// pruned or pattern-bearing parameter: a flag byte (0 = dense, 1 =
+// pattern) and, when present, the ascending linearized dense-view ids. A
+// run with a gradual pruning schedule shrinks patterns mid-run, so the
+// initial pruning result no longer describes checkpoints written after an
+// event; the checkpoint itself must carry its pattern. On load the stored
+// pattern must be a SUBSET of the state's current pattern — equal resumes
+// directly, a strict subset shrinks the state in place first
+// (shrink-on-load), anything else is refused: checkpoints load only into
+// matching patterns.
 
 const (
 	snapMagic   = 0x53414D4F // "SAMO"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 // Save writes the model state to w. It returns the number of payload bytes
@@ -62,6 +71,9 @@ func (ms *ModelState) Save(w io.Writer) (int64, error) {
 	}
 	for _, st := range ms.states {
 		if err := putString(bw, st.p.Name); err != nil {
+			return 0, err
+		}
+		if err := putPattern(bw, ms.patternIDs(st)); err != nil {
 			return 0, err
 		}
 		if err := must(
@@ -115,6 +127,10 @@ type snapParam struct {
 	stepCount int
 	theta32   []float32
 	opt       [][]float32
+	// keep, when non-nil, maps the checkpoint's strict-subset pattern onto
+	// the state's current pattern: the state must shrink to the kept
+	// positions before the staged vectors fit (shrink-on-load).
+	keep []bool
 }
 
 // Load restores a checkpoint written by Save into a structurally matching
@@ -134,6 +150,19 @@ func (ms *ModelState) Load(r io.Reader) error {
 	}
 
 	// --- Commit: nothing below can fail. ---
+
+	// Shrink-on-load: when the checkpoint's pattern is a strict subset of
+	// the current one (it was written after later prune events), shrink the
+	// live state to it first so the staged vectors fit exactly.
+	var ops []shrinkOp
+	for i, st := range ms.states {
+		if k := stg.params[i].keep; k != nil {
+			ops = append(ops, shrinkOp{st: st, keep: k})
+		}
+	}
+	if len(ops) > 0 {
+		ms.applyShrinks(ops)
+	}
 
 	// Prime optimizer state vectors if absent (fresh state). A zero-grad
 	// step allocates them; every value is overwritten below, so only the
@@ -187,6 +216,28 @@ type snapSpec struct {
 type snapParamSpec struct {
 	name   string
 	stored int
+	// ids is the current stored pattern (nil: dense parameter, no pattern
+	// block in the checkpoint); full is the dense-view length it addresses.
+	ids  []int32
+	full int
+	// patternSized marks parameters whose stored length IS the pattern
+	// length (SAMO-compressed and pattern-layer parameters): for those a
+	// subset checkpoint carries shorter vectors. Masked-dense parameters
+	// keep full-length vectors under any pattern.
+	patternSized bool
+}
+
+// patternIDs returns a parameter's current stored-pattern ids, nil for
+// parameters without a pattern. Freshly allocated for pattern layers;
+// aliased for index-compressed ones (callers must not modify).
+func (ms *ModelState) patternIDs(st *paramState) []int32 {
+	if pl := ms.patterns[st.p]; pl != nil {
+		return pl.PatternIDs()
+	}
+	if st.ix != nil {
+		return st.ix.IDs()
+	}
+	return nil
 }
 
 // parseSnapshot validates raw against this state's structure and returns the
@@ -196,7 +247,13 @@ func (ms *ModelState) parseSnapshot(raw []byte) (*snapStaging, error) {
 	// rather than States() (which is nil until primed): 4 bytes per float.
 	spec := snapSpec{mode: ms.Mode, wantK: ms.opt.StateBytesPerParam() / 4}
 	for _, st := range ms.states {
-		spec.params = append(spec.params, snapParamSpec{name: st.p.Name, stored: len(st.theta32)})
+		spec.params = append(spec.params, snapParamSpec{
+			name:         st.p.Name,
+			stored:       len(st.theta32),
+			ids:          ms.patternIDs(st),
+			full:         ms.fullSize(st),
+			patternSized: st.compressed || ms.patterns[st.p] != nil,
+		})
 	}
 	return parseSnapshot(raw, &spec)
 }
@@ -262,6 +319,41 @@ func parseSnapshot(raw []byte, spec *snapSpec) (*snapStaging, error) {
 		if name != ps.name {
 			return nil, fmt.Errorf("core: checkpoint parameter %q does not match %q (order must be identical)", name, ps.name)
 		}
+		sp := &stg.params[i]
+		var flag uint8
+		if err := get(&flag); err != nil {
+			return nil, err
+		}
+		if flag > 1 {
+			return nil, fmt.Errorf("core: %s has invalid pattern flag %d", name, flag)
+		}
+		if (flag == 1) != (ps.ids != nil) {
+			return nil, fmt.Errorf("core: %s pattern presence mismatch (checkpoint %v, state %v)",
+				name, flag == 1, ps.ids != nil)
+		}
+		expect := ps.stored
+		if flag == 1 {
+			var cnt uint32
+			if err := get(&cnt); err != nil {
+				return nil, err
+			}
+			if int(cnt) > len(ps.ids) {
+				return nil, fmt.Errorf("core: %s checkpoint pattern has %d ids, current pattern only %d — checkpoints load only into matching patterns",
+					name, cnt, len(ps.ids))
+			}
+			stored := make([]int32, cnt)
+			if err := getInts(br, stored); err != nil {
+				return nil, err
+			}
+			keep, err := subsetKeep(ps.ids, stored)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s %w — checkpoints load only into matching patterns", name, err)
+			}
+			sp.keep = keep
+			if ps.patternSized {
+				expect = int(cnt)
+			}
+		}
 		var ln, stepCount uint32
 		if err := get(&ln); err != nil {
 			return nil, err
@@ -269,10 +361,9 @@ func parseSnapshot(raw []byte, spec *snapSpec) (*snapStaging, error) {
 		if err := get(&stepCount); err != nil {
 			return nil, err
 		}
-		if int(ln) != ps.stored {
-			return nil, fmt.Errorf("core: %s stored length %d != %d", name, ln, ps.stored)
+		if int(ln) != expect {
+			return nil, fmt.Errorf("core: %s stored length %d != %d", name, ln, expect)
 		}
-		sp := &stg.params[i]
 		sp.stepCount = int(stepCount)
 		sp.theta32 = make([]float32, ln)
 		if err := getFloats(br, sp.theta32); err != nil {
@@ -303,6 +394,50 @@ func quantizeOne(v float32) float32 {
 	d := [1]float32{v}
 	quantize(d[:])
 	return d[0]
+}
+
+// putPattern writes one parameter's pattern block: absent (flag 0) or the
+// ascending linearized ids of the stored pattern (flag 1).
+func putPattern(w io.Writer, ids []int32) error {
+	if ids == nil {
+		return binary.Write(w, binary.LittleEndian, uint8(0))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(1)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ids))); err != nil {
+		return err
+	}
+	return putInts(w, ids)
+}
+
+// subsetKeep maps a checkpoint's stored pattern onto the current one:
+// keep[i] reports whether current id i survives in stored. A nil keep
+// means the patterns are identical. Both inputs are ascending and unique
+// (current by construction; a stored sequence that is not collapses to
+// "not a subset" here), so one two-pointer merge is both the subset test
+// and the mask build.
+func subsetKeep(current, stored []int32) ([]bool, error) {
+	if len(stored) == len(current) {
+		for i := range stored {
+			if stored[i] != current[i] {
+				return nil, fmt.Errorf("checkpoint pattern is not a subset of the current pattern")
+			}
+		}
+		return nil, nil
+	}
+	keep := make([]bool, len(current))
+	j := 0
+	for i := 0; i < len(current) && j < len(stored); i++ {
+		if current[i] == stored[j] {
+			keep[i] = true
+			j++
+		}
+	}
+	if j != len(stored) {
+		return nil, fmt.Errorf("checkpoint pattern is not a subset of the current pattern")
+	}
+	return keep, nil
 }
 
 func putString(w io.Writer, s string) error {
@@ -344,6 +479,26 @@ func getFloats(r io.Reader, s []float32) error {
 	}
 	for i := range s {
 		s[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+func putInts(w io.Writer, s []int32) error {
+	buf := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func getInts(r io.Reader, s []int32) error {
+	buf := make([]byte, 4*len(s))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range s {
+		s[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
 	}
 	return nil
 }

@@ -73,6 +73,12 @@ type ModelState struct {
 	steps    int
 	skipped  int
 
+	// patterns maps each pattern-bearing parameter (e.g. a SparseLinear's
+	// Wv) to the layer owning its shrinkable support, discovered once at
+	// construction. Gradual pruning and shrink-on-load drive the layers'
+	// in-place pattern compaction through this map.
+	patterns map[*nn.Param]nn.PatternLayer
+
 	// Steady-state scratch, built once so Step/ReduceBuffers/GradHook do
 	// not allocate per call.
 	hook        nn.GradHook
@@ -82,9 +88,13 @@ type ModelState struct {
 
 	// Bucketed all-reduce plan (see buckets.go). Every paramState.grad16
 	// aliases a segment of exactly one bucket slab; the slabs, in backward
-	// order, ARE the reduce payload.
-	buckets []ReduceBucket
-	readyAt []int // readyAt[l] = #buckets final once layer l's backward is done
+	// order, ARE the reduce payload. bucketMembers records each bucket's
+	// member parameters in packing order — membership is FIXED at plan
+	// time; a prune event compacts segments inside their slab (see
+	// compactBuckets) rather than re-planning.
+	buckets       []ReduceBucket
+	bucketMembers [][]*paramState
+	readyAt       []int // readyAt[l] = #buckets final once layer l's backward is done
 }
 
 // NewModelState builds the state manager. For SAMO mode, pr must hold the
@@ -103,11 +113,21 @@ func NewModelState(model *nn.Model, opt optim.Optimizer, mode Mode, pr *prune.Re
 	if mode == SAMO && pr == nil {
 		panic("core: SAMO mode requires a pruning result")
 	}
+	ms.patterns = make(map[*nn.Param]nn.PatternLayer)
+	for _, l := range model.Layers {
+		if pl, ok := l.(nn.PatternLayer); ok {
+			ms.patterns[pl.PatternParam()] = pl
+		}
+	}
 	for _, p := range model.Params() {
 		st := &paramState{p: p}
 		var ix *sparse.Index
 		if pr != nil && nn.Prunable(p) {
-			ix = pr.Index(p.Name)
+			if shared := pr.Index(p.Name); shared != nil {
+				// Own copy: gradual pruning shrinks it in place, and the
+				// pruning result may be shared across ranks.
+				ix = shared.Clone()
+			}
 		}
 		if ix != nil {
 			// Zero the pruned coordinates of dense θ16.
@@ -329,12 +349,19 @@ func (ms *ModelState) Memory() MemoryBreakdown {
 	return b
 }
 
-// Fingerprint hashes the state's structure — mode, optimizer footprint, and
-// per parameter its name, full size and stored (possibly compressed) length.
-// Two states with equal fingerprints accept each other's checkpoints; the
-// checkpoint manager stores it in the manifest so a resume against a
-// different model, optimizer or pruning configuration is refused up front
-// instead of failing byte-by-byte mid-load.
+// Fingerprint hashes the state's IMMUTABLE structure — mode, optimizer
+// footprint, and per parameter its name and full (pattern-independent)
+// size. Two states with equal fingerprints accept each other's
+// checkpoints; the checkpoint manager stores it in the manifest so a
+// resume against a different model, optimizer or storage mode is refused
+// up front instead of failing byte-by-byte mid-load.
+//
+// The stored (pattern-dependent) length is deliberately NOT hashed: a
+// gradual pruning schedule shrinks patterns mid-run, and a freshly rebuilt
+// state (initial pattern) must accept a post-shrink checkpoint to recover.
+// The pattern itself is serialized inside the snapshot and validated there
+// — a checkpoint loads only into a matching (superset) pattern, with the
+// state shrunk on load.
 func (ms *ModelState) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -346,10 +373,19 @@ func (ms *ModelState) Fingerprint() uint64 {
 	putU64(uint64(ms.opt.StateBytesPerParam()))
 	for _, st := range ms.states {
 		h.Write([]byte(st.p.Name))
-		putU64(uint64(st.p.Size()))
-		putU64(uint64(len(st.theta32)))
+		putU64(uint64(ms.fullSize(st)))
 	}
 	return h.Sum64()
+}
+
+// fullSize returns a parameter's pattern-independent element count: the
+// dense-view length for pattern-bearing parameters (whose p.Size() shrinks
+// with the pattern), the tensor size otherwise.
+func (ms *ModelState) fullSize(st *paramState) int {
+	if pl := ms.patterns[st.p]; pl != nil {
+		return pl.PatternFullLen()
+	}
+	return st.p.Size()
 }
 
 // Model returns the managed model.

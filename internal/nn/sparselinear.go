@@ -68,6 +68,32 @@ type SparseLinear struct {
 	denseFresh bool
 }
 
+// PatternLayer is a layer whose parameter support can shrink during
+// training — the hook in-training gradual pruning drives. The pattern is a
+// set of surviving positions over a hypothetical dense view of one rank-1
+// parameter (PatternParam, values in stored pattern order); ShrinkPattern
+// drops positions in place, so NNZ only ever decreases and no structure is
+// reallocated. core.ModelState discovers implementations at construction
+// and keeps their stored vectors, optimizer state and reduce-bucket
+// segments aligned with the shrinking pattern.
+type PatternLayer interface {
+	Layer
+	// PatternParam returns the pattern-ordered value parameter whose
+	// length is the pattern's NNZ.
+	PatternParam() *Param
+	// PatternFullLen returns the dense-view element count the pattern
+	// addresses (the layer's unpruned parameter count).
+	PatternFullLen() int
+	// PatternIDs returns the strictly increasing linearized dense-view ids
+	// of the stored pattern (freshly allocated; checkpoint serialization).
+	PatternIDs() []int32
+	// ShrinkPattern drops the stored positions where keep is false
+	// (keep indexed in stored pattern order), compacting every cached
+	// structure in place and re-heading PatternParam onto the compacted
+	// prefix.
+	ShrinkPattern(keep []bool)
+}
+
 // ExecMode selects a SparseLinear's execution path.
 type ExecMode uint8
 
@@ -283,6 +309,51 @@ func (l *SparseLinear) runBackward(ch sparse.XoverChoice, dx, dy *tensor.Tensor)
 
 // Params returns the compressed weight vector and the bias.
 func (l *SparseLinear) Params() []*Param { return []*Param{l.Wv, l.B} }
+
+// PatternParam returns Wv, the NNZ-length weight vector in W's CSR order.
+func (l *SparseLinear) PatternParam() *Param { return l.Wv }
+
+// PatternFullLen returns the dense-equivalent weight element count.
+func (l *SparseLinear) PatternFullLen() int { return l.in * l.out }
+
+// PatternIDs returns the linearized (out, in)-view ids of the pattern.
+func (l *SparseLinear) PatternIDs() []int32 { return l.W.LinearIDs() }
+
+// ShrinkPattern compacts the layer onto the kept pattern positions, in
+// place: W's CSR shrinks, the cached transpose and its refresh permutation
+// are rebuilt inside their existing backing arrays, the masked-dense
+// fallback (which addresses the old pattern) is dropped for the crossover
+// to re-materialize — and re-probe, since the density band changed — and
+// Wv re-heads onto the compacted value prefix so the optimizer state
+// vectors can shrink in lockstep. Weight values are untouched: kept
+// weights keep their exact bits.
+func (l *SparseLinear) ShrinkPattern(keep []bool) {
+	if len(keep) != l.W.NNZ() {
+		panic(fmt.Sprintf("nn: ShrinkPattern keep length %d, want %d", len(keep), l.W.NNZ()))
+	}
+	if l.Wv.Grad != nil {
+		// Compact the gradient accumulator alongside the values (it is
+		// zero between steps, but mid-step callers keep a coherent view).
+		g := l.Wv.Grad.Data()
+		w := 0
+		for i, k := range keep {
+			if k {
+				g[w] = g[i]
+				w++
+			}
+		}
+	}
+	l.W.ShrinkTo(keep)
+	l.wtPerm = l.W.TransposePermInto(l.Wt, l.wtPerm)
+	l.denseW, l.denseIx, l.denseIdle, l.denseFresh = nil, nil, 0, false
+	nnz := l.W.NNZ()
+	l.Wv.Value = tensor.FromSlice(l.W.Val, nnz)
+	if l.Wv.Grad != nil {
+		l.Wv.Grad = tensor.FromSlice(l.Wv.Grad.Data()[:nnz], nnz)
+	}
+	l.Wv.MetaBytes = 4 * int64(len(l.W.RowPtr)+len(l.W.ColIdx)+
+		len(l.Wt.RowPtr)+len(l.Wt.ColIdx)+len(l.wtPerm))
+}
 
 // GradVals exposes the pattern-aligned weight gradient (W's CSR order).
 func (l *SparseLinear) GradVals() []float32 { return l.Wv.Grad.Data() }

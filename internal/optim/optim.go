@@ -32,6 +32,12 @@ type Optimizer interface {
 	StepCount(key string) int
 	// SetStepCount restores the per-key update count (checkpoint resume).
 	SetStepCount(key string, t int)
+	// CompactState drops a key's state entries at positions where keep is
+	// false, compacting each state vector in place (gradual pruning
+	// shrinks a compressed parameter vector; its optimizer state must
+	// shrink identically, entry for entry). A key with no state yet is a
+	// no-op.
+	CompactState(key string, keep []bool)
 }
 
 // SGD is stochastic gradient descent with classical momentum and optional
@@ -83,6 +89,13 @@ func (s *SGD) StepCount(string) int { return 0 }
 
 // SetStepCount is a no-op for SGD.
 func (s *SGD) SetStepCount(string, int) {}
+
+// CompactState shrinks the velocity vector onto the kept positions.
+func (s *SGD) CompactState(key string, keep []bool) {
+	if v, ok := s.velocity[key]; ok {
+		s.velocity[key] = compactKept(key, v, keep)
+	}
+}
 
 // Adam is the Adam optimizer (Kingma & Ba) — the paper's memory model
 // assumes it: two fp32 states per parameter, the 8φ term in M_default.
@@ -162,6 +175,31 @@ func (a *Adam) StepCount(key string) int { return a.t[key] }
 
 // SetStepCount restores the bias-correction clock (checkpoint resume).
 func (a *Adam) SetStepCount(key string, t int) { a.t[key] = t }
+
+// CompactState shrinks both moment vectors onto the kept positions.
+func (a *Adam) CompactState(key string, keep []bool) {
+	if m, ok := a.m[key]; ok {
+		a.m[key] = compactKept(key, m, keep)
+		a.v[key] = compactKept(key, a.v[key], keep)
+	}
+}
+
+// compactKept filters v to the kept positions in place and returns the
+// shortened slice (the backing array is reused — state shrinkage never
+// reallocates).
+func compactKept(key string, v []float32, keep []bool) []float32 {
+	if len(v) != len(keep) {
+		panic(fmt.Sprintf("optim: %s state %d vs keep mask %d", key, len(v), len(keep)))
+	}
+	w := 0
+	for i, k := range keep {
+		if k {
+			v[w] = v[i]
+			w++
+		}
+	}
+	return v[:w]
+}
 
 func checkLens(key string, params, grads []float32) {
 	if len(params) != len(grads) {

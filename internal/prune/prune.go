@@ -8,6 +8,7 @@ package prune
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/sparse-dl/samo/internal/sparse"
@@ -90,7 +91,7 @@ func MagnitudeGlobal(layers []Layer, sparsity float64) *Result {
 	type entry struct {
 		layer int
 		idx   int32
-		mag   float32
+		bits  uint32
 	}
 	var total int
 	for _, l := range layers {
@@ -99,16 +100,13 @@ func MagnitudeGlobal(layers []Layer, sparsity float64) *Result {
 	entries := make([]entry, 0, total)
 	for li, l := range layers {
 		for i, v := range l.Values {
-			if v < 0 {
-				v = -v
-			}
-			entries = append(entries, entry{layer: li, idx: int32(i), mag: v})
+			entries = append(entries, entry{layer: li, idx: int32(i), bits: magBits(v)})
 		}
 	}
 	sort.Slice(entries, func(a, b int) bool {
 		ea, eb := entries[a], entries[b]
-		if ea.mag != eb.mag {
-			return ea.mag < eb.mag
+		if ea.bits != eb.bits {
+			return ea.bits < eb.bits
 		}
 		if ea.layer != eb.layer {
 			return ea.layer < eb.layer
@@ -138,30 +136,31 @@ func MagnitudePerLayer(layers []Layer, sparsity float64) *Result {
 	return resultFromMasks(layers, masks)
 }
 
+// maskSmallest prunes the nPrune smallest-magnitude entries. The sort key
+// is the magnitude's IEEE-754 bit pattern packed with the element index,
+// which is a TOTAL order: monotone with |v| over all finite values, −0
+// tied with +0, every NaN above +Inf (so NaNs are kept, never silently
+// pruned). A float comparator is not — NaN breaks its strict weak
+// ordering and the selection at the cut becomes an implementation accident
+// — so equal magnitudes at the threshold are pruned in ascending index
+// order on every machine, and gradual schedules replay identically.
 func maskSmallest(values []float32, nPrune int) *sparse.Mask {
-	type entry struct {
-		idx int32
-		mag float32
-	}
-	entries := make([]entry, len(values))
+	keys := make([]uint64, len(values))
 	for i, v := range values {
-		if v < 0 {
-			v = -v
-		}
-		entries[i] = entry{idx: int32(i), mag: v}
+		keys[i] = uint64(magBits(v))<<32 | uint64(uint32(i))
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].mag != entries[b].mag {
-			return entries[a].mag < entries[b].mag
-		}
-		return entries[a].idx < entries[b].idx
-	})
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	m := sparse.FullMask(len(values))
-	for _, e := range entries[:nPrune] {
-		m.Clear(int(e.idx))
+	for _, k := range keys[:nPrune] {
+		m.Clear(int(uint32(k)))
 	}
 	return m
 }
+
+// magBits returns the IEEE-754 bit pattern of |v| — the order-preserving
+// integer magnitude key shared by every magnitude criterion here and by
+// the in-training gradual pruner, so all of them break ties identically.
+func magBits(v float32) uint32 { return math.Float32bits(v) &^ (1 << 31) }
 
 // Random prunes a uniformly random subset of each layer to the target
 // sparsity — the control baseline showing magnitude information matters for

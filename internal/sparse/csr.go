@@ -318,25 +318,82 @@ func (m *CSR) transpose(withPerm bool) (*CSR, []int32) {
 	if withPerm {
 		perm = make([]int32, len(m.Val))
 	}
+	m.transposeFill(t, perm)
+	return t, perm
+}
+
+// transposeFill populates t (and perm, when non-nil) as the transpose of m
+// via the counting sort both Transpose entry points share. t's slices must
+// already have the right lengths (RowPtr: m.Cols+1, ColIdx/Val/perm: NNZ).
+func (m *CSR) transposeFill(t *CSR, perm []int32) {
+	for i := range t.RowPtr {
+		t.RowPtr[i] = 0
+	}
 	for _, c := range m.ColIdx {
 		t.RowPtr[c+1]++
 	}
 	for i := 0; i < m.Cols; i++ {
 		t.RowPtr[i+1] += t.RowPtr[i]
 	}
-	next := append([]int32(nil), t.RowPtr...)
+	next := append([]int32(nil), t.RowPtr[:m.Cols]...)
 	for i := 0; i < m.Rows; i++ {
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
 			c := m.ColIdx[p]
 			t.ColIdx[next[c]] = int32(i)
 			t.Val[next[c]] = m.Val[p]
-			if withPerm {
+			if perm != nil {
 				perm[next[c]] = p
 			}
 			next[c]++
 		}
 	}
-	return t, perm
+}
+
+// ShrinkTo drops the pattern positions where keep is false (keep is in
+// stored CSR order), compacting Val/ColIdx leftward and rewriting RowPtr —
+// all in place. Under a gradual pruning schedule NNZ only ever decreases,
+// so the backing arrays are reused across every prune event of a run.
+func (m *CSR) ShrinkTo(keep []bool) {
+	if len(keep) != len(m.Val) {
+		panic(fmt.Sprintf("sparse: CSR ShrinkTo keep length %d, want %d", len(keep), len(m.Val)))
+	}
+	w := int32(0)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		m.RowPtr[i] = w
+		for p := lo; p < hi; p++ {
+			if keep[p] {
+				m.Val[w] = m.Val[p]
+				m.ColIdx[w] = m.ColIdx[p]
+				w++
+			}
+		}
+	}
+	m.RowPtr[m.Rows] = w
+	m.Val = m.Val[:w]
+	m.ColIdx = m.ColIdx[:w]
+}
+
+// TransposePermInto rebuilds t and perm as the transpose of m, reusing
+// their backing arrays — the in-place refresh a cached transpose needs
+// after the primary pattern shrank. t must be a previous transpose of a
+// superset pattern of m (same shape, so RowPtr keeps its length and
+// ColIdx/Val/perm capacities cover the new NNZ); the resliced perm is
+// returned. Cheaper bookkeeping aside, this is exactly transposeFill.
+func (m *CSR) TransposePermInto(t *CSR, perm []int32) []int32 {
+	if t.Rows != m.Cols || t.Cols != m.Rows || len(t.RowPtr) != m.Cols+1 {
+		panic(fmt.Sprintf("sparse: TransposePermInto shape mismatch (%dx%d into %dx%d)",
+			m.Rows, m.Cols, t.Rows, t.Cols))
+	}
+	nnz := len(m.Val)
+	if cap(t.ColIdx) < nnz || cap(t.Val) < nnz || cap(perm) < nnz {
+		panic("sparse: TransposePermInto target smaller than the new pattern")
+	}
+	t.ColIdx = t.ColIdx[:nnz]
+	t.Val = t.Val[:nnz]
+	perm = perm[:nnz]
+	m.transposeFill(t, perm)
+	return perm
 }
 
 // LinearIDs returns the strictly increasing linearized (row-major) element

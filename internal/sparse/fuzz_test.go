@@ -60,6 +60,8 @@ func FuzzSpMMInto(f *testing.F) {
 	f.Add(uint16(1), uint16(129), uint16(1), uint8(25), uint64(6)) // single row/col
 	f.Add(uint16(64), uint16(48), uint16(32), uint8(25), uint64(7))
 	f.Add(uint16(130), uint16(65), uint16(17), uint8(12), uint64(8)) // crosses row grain
+	f.Add(uint16(130), uint16(65), uint16(17), uint8(0), uint64(9))  // empty pattern, many rows
+	f.Add(uint16(0), uint16(0), uint16(0), uint8(0), uint64(10))     // empty pattern, empty dims
 	f.Fuzz(func(t *testing.T, rr, cr, nr uint16, density uint8, seed uint64) {
 		rows, cols, n := int(rr%144), int(cr%144), int(nr%48)
 		m, dense := fuzzCSR(rows, cols, density, seed)
@@ -96,6 +98,8 @@ func FuzzSpMMTInto(f *testing.F) {
 	f.Add(uint16(1), uint16(129), uint16(1), uint8(25), uint64(6))
 	f.Add(uint16(64), uint16(48), uint16(32), uint8(25), uint64(7))
 	f.Add(uint16(130), uint16(65), uint16(17), uint8(12), uint64(8))
+	f.Add(uint16(130), uint16(65), uint16(17), uint8(0), uint64(9)) // empty pattern, many rows
+	f.Add(uint16(0), uint16(0), uint16(0), uint8(0), uint64(10))    // empty pattern, empty dims
 	f.Fuzz(func(t *testing.T, rr, cr, nr uint16, density uint8, seed uint64) {
 		rows, cols, n := int(rr%144), int(cr%144), int(nr%48)
 		m, dense := fuzzCSR(rows, cols, density, seed)
@@ -131,6 +135,8 @@ func FuzzSDDMMInto(f *testing.F) {
 	f.Add(uint16(9), uint16(7), uint16(3), uint8(255), uint64(5), false)
 	f.Add(uint16(64), uint16(48), uint16(32), uint8(25), uint64(6), true)
 	f.Add(uint16(130), uint16(65), uint16(17), uint8(12), uint64(7), false)
+	f.Add(uint16(130), uint16(65), uint16(17), uint8(0), uint64(8), true) // empty pattern, many rows
+	f.Add(uint16(0), uint16(0), uint16(0), uint8(0), uint64(9), false)    // empty pattern, empty dims
 	f.Fuzz(func(t *testing.T, rr, cr, kr uint16, density uint8, seed uint64, accumulate bool) {
 		rows, cols, k := int(rr%144), int(cr%144), int(kr%48)
 		m, _ := fuzzCSR(rows, cols, density, seed)

@@ -53,6 +53,32 @@ func (ix *Index) IDs() []int32 { return ix.ids }
 // non-zero (the 4fφ term of the paper's memory model).
 func (ix *Index) Bytes() int64 { return int64(len(ix.ids)) * 4 }
 
+// Clone returns an independent copy. Gradual pruning shrinks a state's
+// index in place, so every state that may shrink owns its own copy (as
+// every GPU stores its own ind tensor) while the pruning result's indices
+// stay immutable.
+func (ix *Index) Clone() *Index {
+	return &Index{ids: append([]int32(nil), ix.ids...), full: ix.full}
+}
+
+// ShrinkTo drops the ids at positions where keep is false, compacting the
+// survivors leftward in place — NNZ only ever decreases under gradual
+// pruning, so the backing array is reused, never reallocated. keep is in
+// stored (ascending id) order; the result stays sorted and unique.
+func (ix *Index) ShrinkTo(keep []bool) {
+	if len(keep) != len(ix.ids) {
+		panic(fmt.Sprintf("sparse: ShrinkTo keep length %d, want %d", len(keep), len(ix.ids)))
+	}
+	w := 0
+	for i, k := range keep {
+		if k {
+			ix.ids[w] = ix.ids[i]
+			w++
+		}
+	}
+	ix.ids = ix.ids[:w]
+}
+
 // ixJob carries a compress/expand call's arguments to the worker pool.
 // Recycled through a parallel.Pool so the calls stay allocation-free (they
 // sit on the per-layer gradient-capture path, run once per microbatch).

@@ -198,6 +198,33 @@
 // BENCH_comm.json (overlap_step_speedup; the simulator's overlap-aware
 // cost model, simulate.RunWithOptions, is validated against it).
 //
+// # Pruning schedules
+//
+// Besides one-shot pruning before training, the sparsity can be reached
+// GRADUALLY during training with Zhu & Gupta's cubic schedule
+// (PruneSchedule): starting from an initial sparsity, prune events every
+// Frequency steps between BeginStep and EndStep remove the
+// smallest-magnitude surviving weights — per layer or by global ranking —
+// until the final sparsity is reached, letting the network adapt between
+// events. The defining property of the implementation is that every event
+// shrinks the existing storage IN PLACE: CSR patterns and their cached
+// transposes, the compressed θ32/∇θ32 vectors, optimizer moments and the
+// bucketed all-reduce slabs all compact leftward inside their original
+// backing arrays, so NNZ only ever decreases, memory and communication
+// volume ratchet down with the schedule, and training between events stays
+// allocation-free. Selection reads the θ32 master weights after the global
+// overflow consensus, where every data-parallel replica is
+// bitwise-identical — so all replicas (and the masked-dense reference
+// mode) shrink to the exact same pattern with no extra communication, at
+// any worker count, on either transport, with overlap on or off.
+// Checkpoints carry their pattern: one written after an event loads only
+// into states whose pattern it is a subset of (shrinking them on load),
+// and crash recovery around a prune event is bitwise-identical to an
+// uninterrupted run. Drive it with NewGradualPruner (single-process,
+// call MaybePrune after each trainer step) or ParallelConfig.PruneSchedule
+// (samo-train's -prune-* flags); examples/scaling_study -mode schedule
+// sweeps schedules into an accuracy-proxy vs speedup frontier.
+//
 // Steady-state training steps are allocation-free across every model
 // family — MLP, CNN (im2col conv, batch norm, pooling, residual blocks)
 // and GPT (embedding, attention, layer norm, GELU MLP) — as are the fp16
@@ -244,6 +271,12 @@ type (
 	Layer = nn.Layer
 	// PruneResult holds per-layer indices of surviving parameters.
 	PruneResult = prune.Result
+	// PruneSchedule is a gradual magnitude-pruning schedule (Zhu & Gupta's
+	// cubic sparsity ramp) driven during training.
+	PruneSchedule = prune.Schedule
+	// GradualPruner applies a PruneSchedule to a live State with in-place
+	// pattern shrinkage.
+	GradualPruner = core.GradualPruner
 	// State manages mixed-precision model states, dense or SAMO-compressed.
 	State = core.ModelState
 	// Trainer drives single-process training through a State.
@@ -384,6 +417,16 @@ func PruneMagnitudeGlobal(m *Model, sparsity float64) *PruneResult {
 // PruneRandom prunes a random subset (control baseline).
 func PruneRandom(m *Model, sparsity float64, seed uint64) *PruneResult {
 	return prune.Random(pruneLayers(m), sparsity, seed)
+}
+
+// NewGradualPruner binds a gradual magnitude-pruning schedule to a live
+// training state (see the package's "Pruning schedules" section). Call
+// MaybePrune(step) after every trainer step; on schedule events it shrinks
+// the state's sparse patterns — and every dependent storage layer — in
+// place, on other steps it is a free no-op. The parallel engine drives the
+// same machinery via ParallelConfig.PruneSchedule.
+func NewGradualPruner(s *State, sched PruneSchedule) (*GradualPruner, error) {
+	return core.NewGradualPruner(s, sched)
 }
 
 // Sparsify replaces every pruned Linear layer of a model with a
